@@ -1,0 +1,347 @@
+package opass
+
+// This file holds one testing.B benchmark per figure of the paper's
+// evaluation (regenerating the figure's data end-to-end each iteration) and
+// microbenchmarks for the algorithmic building blocks — the max-flow
+// solvers behind §IV-B, Algorithm 1, the dynamic scheduler, and the fluid
+// simulator. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks default to paper scale (64-80 node clusters); the
+// planner microbenchmarks sweep sizes up to 256 processes x 2560 tasks to
+// exercise the §V-C2 scalability discussion.
+
+import (
+	"fmt"
+	"testing"
+
+	"opass/internal/bipartite"
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+	"opass/internal/experiments"
+	"opass/internal/mpi"
+	"opass/internal/simnet"
+	"opass/internal/workload"
+)
+
+func benchCfg(i int) experiments.Config {
+	return experiments.Config{Seed: int64(i)}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (motivating imbalance, 64 nodes).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (§III analytics + Monte Carlo).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig3(benchCfg(i))
+	}
+}
+
+// BenchmarkFig7 regenerates Figures 7a/7b + 8a/8b (16..80 node sweep).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SingleDataSweep(benchCfg(i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7c regenerates Figures 7c + 8c (64-node trace).
+func BenchmarkFig7c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7cTrace(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figures 9 + 10 (multi-data trace).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9Trace(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (dynamic master/worker trace).
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11Trace(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 (ParaView pipeline).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §V-C1 overhead measurement.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Overhead(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPlacement regenerates the placement-skew ablation.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPlacement(benchCfg(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// plannerProblem builds a single-data problem of the given scale for the
+// planner microbenchmarks.
+func plannerProblem(b *testing.B, nodes int) *core.Problem {
+	b.Helper()
+	rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: 10, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rig.Prob
+}
+
+// BenchmarkPlannerSingleDataEK measures the §IV-B flow planner with
+// Edmonds-Karp across problem sizes (§V-C2 scalability).
+func BenchmarkPlannerSingleDataEK(b *testing.B) {
+	for _, nodes := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("procs=%d", nodes), func(b *testing.B) {
+			p := plannerProblem(b, nodes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.SingleData{Algorithm: bipartite.EdmondsKarp}).Assign(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerSingleDataDinic is the max-flow algorithm ablation.
+func BenchmarkPlannerSingleDataDinic(b *testing.B) {
+	for _, nodes := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("procs=%d", nodes), func(b *testing.B) {
+			p := plannerProblem(b, nodes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.SingleData{Algorithm: bipartite.Dinic}).Assign(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerSingleDataKuhn measures the direct matching fast path.
+func BenchmarkPlannerSingleDataKuhn(b *testing.B) {
+	for _, nodes := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("procs=%d", nodes), func(b *testing.B) {
+			p := plannerProblem(b, nodes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.SingleData{Algorithm: bipartite.Kuhn}).Assign(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlannerMultiData measures Algorithm 1 across problem sizes.
+func BenchmarkPlannerMultiData(b *testing.B) {
+	for _, nodes := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("procs=%d", nodes), func(b *testing.B) {
+			rig, err := workload.MultiSpec{Nodes: nodes, TasksPerProc: 10, Seed: 1}.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.MultiData{}).Assign(rig.Prob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDynamicSchedulerDrain measures the §IV-D master serving a full
+// job's worth of Next calls, including the stealing path.
+func BenchmarkDynamicSchedulerDrain(b *testing.B) {
+	p := plannerProblem(b, 64)
+	a, err := (core.SingleData{}).Assign(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewDynamicScheduler(p, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		proc := 0
+		for {
+			if _, ok := s.Next(proc); !ok {
+				break
+			}
+			proc = (proc + 7) % 64 // arbitrary idle pattern
+		}
+	}
+}
+
+// BenchmarkMaxFlowEK and BenchmarkMaxFlowDinic isolate the flow solvers on
+// the raw locality network (64 procs x 640 files x 3 replicas).
+func maxflowNetwork(b *testing.B) (*bipartite.FlowNetwork, int, int) {
+	b.Helper()
+	rig, err := workload.SingleSpec{Nodes: 64, ChunksPerProc: 10, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bipartite.NewGraph(64, len(rig.Prob.Tasks))
+	for t := range rig.Prob.Tasks {
+		for proc := 0; proc < 64; proc++ {
+			if w := rig.Prob.CoLocatedMB(proc, t); w > 0 {
+				g.AddEdge(proc, t, int64(w))
+			}
+		}
+	}
+	n := 64 + len(rig.Prob.Tasks) + 2
+	fn := bipartite.NewFlowNetwork(n)
+	s, t := 0, n-1
+	for p := 0; p < 64; p++ {
+		fn.AddArc(s, 1+p, 640)
+	}
+	for p := 0; p < 64; p++ {
+		for _, e := range g.EdgesOfP(p) {
+			fn.AddArc(1+p, 1+64+e.F, 64)
+		}
+	}
+	for f := 0; f < len(rig.Prob.Tasks); f++ {
+		fn.AddArc(1+64+f, t, 64)
+	}
+	return fn, s, t
+}
+
+// BenchmarkMaxFlowEK measures Edmonds-Karp on the 64x640 locality network.
+func BenchmarkMaxFlowEK(b *testing.B) {
+	fn, s, t := maxflowNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Reset()
+		fn.MaxFlowEK(s, t)
+	}
+}
+
+// BenchmarkMaxFlowDinic measures Dinic on the same network.
+func BenchmarkMaxFlowDinic(b *testing.B) {
+	fn, s, t := maxflowNetwork(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Reset()
+		fn.MaxFlowDinic(s, t)
+	}
+}
+
+// BenchmarkSimnetContendedDisk measures the fluid simulator on the paper's
+// worst case: many concurrent streams on one disk.
+func BenchmarkSimnetContendedDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := simnet.New()
+		disk := n.AddResource("disk", 75, 0.3)
+		for f := 0; f < 64; f++ {
+			n.Start([]simnet.ResourceID{disk}, 64, 0.015, "r")
+		}
+		n.Run()
+	}
+}
+
+// BenchmarkDFSCreate measures metadata-path throughput: creating a 640-chunk
+// dataset with random 3-way placement.
+func BenchmarkDFSCreate(b *testing.B) {
+	topoView := fixedView{nodes: 64}
+	for i := 0; i < b.N; i++ {
+		fs := dfs.New(topoView, dfs.Config{Seed: int64(i)})
+		if _, err := fs.Create("/data", 640*64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type fixedView struct{ nodes int }
+
+func (v fixedView) NumNodes() int    { return v.nodes }
+func (v fixedView) RackOf(n int) int { return 0 }
+
+// BenchmarkEngineStaticRun measures a full 64-node static execution
+// (plan + simulate 640 reads) — the engine's end-to-end cost.
+func BenchmarkEngineStaticRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rig, err := workload.SingleSpec{Nodes: 64, ChunksPerProc: 10, Seed: int64(i)}.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := (core.SingleData{}).Assign(rig.Prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engineRun(rig, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMPIWorld measures the goroutine-rank runtime on a 32-rank
+// master/worker job with 320 reads.
+func BenchmarkMPIWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := cluster.New(32, cluster.Marmot())
+		fs := dfs.New(topo, dfs.Config{Seed: int64(i)})
+		f, err := fs.Create("/db", 64*320)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := mpi.NewWorld(topo, fs, identity(32))
+		if _, err := w.Run(func(r *mpi.Rank) {
+			for t := r.ID(); t < len(f.Chunks); t += r.Size() {
+				r.ReadChunk(f.Chunks[t])
+			}
+			r.Barrier()
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func engineRun(rig *workload.Rig, a *core.Assignment) (*engine.Result, error) {
+	return engine.RunAssignment(engine.Options{
+		Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: "bench",
+	}, a)
+}

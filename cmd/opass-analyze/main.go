@@ -1,0 +1,78 @@
+// Command opass-analyze prints the §III analytical results — the binomial
+// model of remote parallel reads (Figure 3) and the law-of-total-probability
+// model of imbalanced chunk service — for arbitrary cluster parameters,
+// together with a Monte-Carlo cross-check.
+//
+// Usage:
+//
+//	opass-analyze [-chunks N] [-replication R] [-nodes M[,M...]] [-k K] [-trials T]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"opass/internal/analysis"
+)
+
+func main() {
+	chunks := flag.Int("chunks", 512, "number of chunks in the dataset (n)")
+	repl := flag.Int("replication", 3, "replication factor (r)")
+	nodesCSV := flag.String("nodes", "64,128,256,512", "comma-separated cluster sizes (m)")
+	kMax := flag.Int("k", 20, "largest k for the CDF table")
+	trials := flag.Int("trials", 500, "Monte-Carlo trials (0 disables)")
+	seed := flag.Int64("seed", 42, "Monte-Carlo seed")
+	flag.Parse()
+
+	var sizes []int
+	for _, tok := range strings.Split(*nodesCSV, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || m < *repl {
+			fmt.Fprintf(os.Stderr, "opass-analyze: bad cluster size %q\n", tok)
+			os.Exit(1)
+		}
+		sizes = append(sizes, m)
+	}
+
+	fmt.Printf("§III-A — CDF of chunks read locally, n=%d chunks, r=%d\n", *chunks, *repl)
+	fmt.Printf("(as-written convention p=r/m | quoted convention p=1/m)\n")
+	fmt.Printf("%4s", "k")
+	for _, m := range sizes {
+		fmt.Printf("      m=%-14d", m)
+	}
+	fmt.Println()
+	for k := 0; k <= *kMax; k += 2 {
+		fmt.Printf("%4d", k)
+		for _, m := range sizes {
+			p := analysis.LocalReadParams{Chunks: *chunks, Replication: *repl, Nodes: m}
+			fmt.Printf("   %8.4f | %8.4f", analysis.LocalReadCDF(p, k), analysis.LocalReadCDFQuoted(p, k))
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nP(X > 5) per cluster size (quoted convention):\n")
+	for _, m := range sizes {
+		p := analysis.LocalReadParams{Chunks: *chunks, Replication: *repl, Nodes: m}
+		fmt.Printf("  m=%-5d %7.2f%%\n", m, 100*(1-analysis.LocalReadCDFQuoted(p, 5)))
+	}
+
+	fmt.Printf("\n§III-B — expected node service counts\n")
+	for _, m := range sizes {
+		p := analysis.LocalReadParams{Chunks: *chunks, Replication: *repl, Nodes: m}
+		fmt.Printf("  m=%-5d E[nodes serving <=1 chunk]=%6.1f   E[nodes serving >=8 chunks]=%6.1f\n",
+			m, analysis.ExpectedNodesServingAtMost(p, 1), analysis.ExpectedNodesServingAtLeast(p, 8))
+	}
+
+	if *trials > 0 {
+		fmt.Printf("\nMonte-Carlo cross-check (%d trials, seed %d)\n", *trials, *seed)
+		for _, m := range sizes {
+			p := analysis.LocalReadParams{Chunks: *chunks, Replication: *repl, Nodes: m}
+			mc := analysis.MonteCarlo(p, *trials, 8, *seed)
+			fmt.Printf("  m=%-5d mean chunks read locally %6.2f (analytic %6.2f)   mean busiest node serves %5.1f chunks\n",
+				m, mc.MeanLocal, float64(*chunks)*float64(*repl)/float64(m), mc.MaxServed)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Command opass-bench regenerates the figures of the Opass paper's
+// evaluation from the simulated substrate and prints them as text rows.
+//
+// Usage:
+//
+//	opass-bench [flags] [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiments:
+//
+//	fig1      Figure 1  — motivating imbalance (64 nodes, 128 chunks)
+//	fig3      Figure 3  — §III analytical CDFs and quoted probabilities
+//	fig7      Figures 7a/7b + 8a/8b — cluster-size sweep (16..80 nodes)
+//	fig7c     Figures 7c + 8c — 64-node single-data trace
+//	fig9      Figures 9 + 10  — 64-node multi-data trace
+//	fig11     Figure 11 — 64-node dynamic master/worker trace
+//	fig12     Figure 12 — ParaView pipeline
+//	overhead  §V-C1 — planner overhead ratio
+//	scale     §V-C2 — planner wall time vs problem size
+//	ablation-placement  skewed placement with/without balancer
+//	dynamic-masters     random vs delay scheduling vs Opass masters
+//	hetero              §IV-D heterogeneous cluster, static vs dynamic
+//	greedy              greedy heuristic vs optimal flow planner
+//	redistribution      MRAP-style replica migration cost/benefit
+//	replication         replication factor vs achievable locality
+//	sensitivity         disk seek-penalty calibration sweep
+//	faults              DataNode crashes mid-job with read failover
+//	racks               oversubscribed multi-rack fabric study
+//	shared              co-running jobs interference study (§V-C1)
+//	datasize            dataset-size sweep at fixed cluster size
+//
+// Flags:
+//
+//	-seed N    random seed (default 42)
+//	-scale N   divide cluster sizes by N for quick runs (default 1 = paper scale)
+//	-out DIR   also write figure data as CSV into DIR
+//	-repeat N  replicate trace experiments over N seeds, reporting mean±sd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"opass/internal/experiments"
+	"opass/internal/plot"
+	"opass/internal/traceio"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed for placement and scheduling")
+	scale := flag.Int("scale", 1, "divide paper cluster sizes by this factor")
+	out := flag.String("out", "", "directory to write figure data as CSV (created if missing)")
+	repeat := flag.Int("repeat", 1, "repeat trace experiments over this many seeds and report mean±sd")
+	flag.Parse()
+	repeats = *repeat
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "opass-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	outDir = *out
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{
+			"fig1", "fig3", "fig7", "fig7c", "fig9", "fig11", "fig12",
+			"overhead", "scale", "ablation-placement",
+			"dynamic-masters", "hetero", "greedy",
+			"redistribution", "replication", "sensitivity", "faults", "racks", "shared", "datasize",
+		}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "opass-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(name string, cfg experiments.Config) error {
+	switch name {
+	case "fig1":
+		r, err := experiments.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig3":
+		r := experiments.Fig3(cfg)
+		fmt.Print(r.Render())
+		names := make([]string, len(r.Sizes))
+		series := make([][]float64, len(r.Sizes))
+		for i, m := range r.Sizes {
+			names[i] = fmt.Sprintf("m=%d", m)
+			series[i] = r.Quoted[m]
+		}
+		fmt.Print(plot.CDF("\nCDF of chunks read locally (k = 0..20)", names, series, 64, 12))
+	case "fig7", "fig8":
+		r, err := experiments.SingleDataSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig7c", "fig8c":
+		r, err := renderTrace(experiments.Fig7cTrace, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plot.Trace("\nI/O time per operation, without Opass (s)", r.Baseline.IOTimes, 72, 10))
+		fmt.Print(plot.Trace("I/O time per operation, with Opass (s)", r.Opass.IOTimes, 72, 10))
+		fmt.Println("\ndata served per node (MB), without Opass:")
+		fmt.Println("  " + plot.Sparkline(r.Baseline.ServedMB))
+		fmt.Println("data served per node (MB), with Opass:")
+		fmt.Println("  " + plot.Sparkline(r.Opass.ServedMB))
+		if err := exportTrace("fig7c", r); err != nil {
+			return err
+		}
+	case "fig9", "fig10":
+		r, err := renderTrace(experiments.Fig9Trace, cfg)
+		if err != nil {
+			return err
+		}
+		if err := exportTrace("fig9", r); err != nil {
+			return err
+		}
+	case "fig11":
+		r, err := renderTrace(experiments.Fig11Trace, cfg)
+		if err != nil {
+			return err
+		}
+		if err := exportTrace("fig11", r); err != nil {
+			return err
+		}
+	case "fig12":
+		r, err := experiments.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		fmt.Print(plot.Trace("\nvtkFileSeriesReader call times, stock (s)", r.Stock.CallTimes, 72, 8))
+		fmt.Print(plot.Trace("vtkFileSeriesReader call times, with Opass (s)", r.Opass.CallTimes, 72, 8))
+	case "dynamic-masters":
+		r, err := experiments.DynamicStrategies(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "hetero":
+		r, err := experiments.HeteroStaticVsDynamic(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "greedy":
+		rows, err := experiments.GreedyVsFlow(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderGreedy(rows))
+	case "datasize":
+		rows, err := experiments.DataSizeSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderDataSweep(rows, cfg.Nodes(64)))
+	case "shared":
+		r, err := experiments.SharedCluster(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "racks":
+		r, err := experiments.RackTopology(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "faults":
+		r, err := experiments.FaultTolerance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "redistribution":
+		r, err := experiments.Redistribution(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "replication":
+		rows, err := experiments.ReplicationSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderReplication(rows))
+	case "sensitivity":
+		rows, err := experiments.SeekPenaltySensitivity(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSensitivity(rows))
+	case "overhead":
+		r, err := experiments.Overhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "scale":
+		rows, err := experiments.PlannerScale(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScale(rows))
+	case "ablation-placement":
+		r, err := experiments.AblationPlacement(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}
+
+// outDir is the -out flag target ("" disables CSV export).
+var outDir string
+
+// repeats is the -repeat flag (1 = single run).
+var repeats int
+
+// renderTrace prints a trace experiment, replicated across seeds when
+// -repeat is above 1.
+func renderTrace(f func(experiments.Config) (*experiments.TraceResult, error), cfg experiments.Config) (*experiments.TraceResult, error) {
+	r, err := f(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(r.Render())
+	if repeats > 1 {
+		rep, err := experiments.Replicate(f, cfg, repeats)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Print(rep.Render())
+	}
+	return r, nil
+}
+
+// exportTrace writes a paired trace's per-read durations and per-node loads
+// as CSV series under the -out directory.
+func exportTrace(name string, r *experiments.TraceResult) error {
+	if outDir == "" {
+		return nil
+	}
+	for _, side := range []struct {
+		label string
+		res   experiments.StrategyResult
+	}{{"baseline", r.Baseline}, {"opass", r.Opass}} {
+		f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("%s_%s_io.csv", name, side.label)))
+		if err != nil {
+			return err
+		}
+		xs := make([]float64, len(side.res.IOTimes))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		err = traceio.WriteSeriesCSV(f, "op_index", xs, []string{"io_time_s"}, [][]float64{side.res.IOTimes})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		f, err = os.Create(filepath.Join(outDir, fmt.Sprintf("%s_%s_served.csv", name, side.label)))
+		if err != nil {
+			return err
+		}
+		err = traceio.WriteNodeLoadCSV(f, side.res.ServedMB)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("(wrote %s CSVs to %s)\n", name, outDir)
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command opass-fs is an hdfs-dfs-style shell over the simulated
+// distributed file system: create a cluster, store files, inspect block
+// placement, run the balancer and fsck, decommission nodes.
+//
+// Usage:
+//
+//	opass-fs -c "mkfs -nodes 8; put /data 640; stat /data"   # inline script
+//	opass-fs < script.ofs                                     # script on stdin
+//
+// Commands are line- or semicolon-separated; run `opass-fs -c help` for the
+// command reference. Sessions are deterministic given the mkfs seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"opass/internal/fsshell"
+)
+
+func main() {
+	script := flag.String("c", "", "inline script (semicolon-separated commands)")
+	strict := flag.Bool("strict", false, "stop at the first failing command")
+	flag.Parse()
+
+	sh := fsshell.New(os.Stdout)
+	var input string
+	if *script != "" {
+		input = strings.ReplaceAll(*script, ";", "\n")
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opass-fs:", err)
+			os.Exit(1)
+		}
+		input = string(data)
+	}
+	if _, err := sh.Run(strings.NewReader(input), *strict); err != nil {
+		os.Exit(1)
+	}
+}

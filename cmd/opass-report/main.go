@@ -1,0 +1,37 @@
+// Command opass-report runs every paper experiment and writes a
+// paper-vs-measured markdown report — the machine-generated counterpart of
+// EXPERIMENTS.md, for archiving reproduction runs.
+//
+// Usage:
+//
+//	opass-report [-seed N] [-scale N] [-o report.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opass/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed")
+	scale := flag.Int("scale", 1, "cluster-size divisor (1 = paper scale)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := experiments.MarkdownReport(experiments.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opass-report:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "opass-report:", err)
+		os.Exit(1)
+	}
+}

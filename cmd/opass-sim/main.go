@@ -1,0 +1,153 @@
+// Command opass-sim runs one parallel data access simulation with explicit
+// parameters and prints the resulting report — a workbench for exploring
+// configurations beyond the paper's.
+//
+// Usage:
+//
+//	opass-sim [flags]
+//
+// Examples:
+//
+//	opass-sim -nodes 64 -chunks-per-proc 10 -strategy opass
+//	opass-sim -nodes 32 -strategy rank -dynamic
+//	opass-sim -nodes 16 -multi -strategy opass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opass"
+	"opass/internal/core"
+	"opass/internal/engine"
+	"opass/internal/traceio"
+	"opass/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 64, "cluster size (one process per node)")
+	chunksPerProc := flag.Int("chunks-per-proc", 10, "tasks per process")
+	chunkMB := flag.Float64("chunk-mb", 64, "chunk size in MB")
+	repl := flag.Int("replication", 3, "replication factor")
+	strategy := flag.String("strategy", "opass", "assignment strategy: opass | rank | random")
+	dynamic := flag.Bool("dynamic", false, "use master/worker dynamic dispatch")
+	multi := flag.Bool("multi", false, "multi-data tasks (30/20/10 MB inputs) instead of single chunks")
+	seed := flag.Int64("seed", 42, "random seed")
+	compare := flag.Bool("compare", false, "also run the rank baseline and print a comparison")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of a table")
+	traceFile := flag.String("trace", "", "CSV task trace to replay (task_id, compute_s, input_mb...)")
+	flag.Parse()
+
+	var rep *opass.Report
+	var err error
+	if *traceFile != "" {
+		rep, err = runTrace(*traceFile, *nodes, *seed, *dynamic)
+	} else {
+		rep, err = run(*nodes, *chunksPerProc, *chunkMB, *repl, opass.Strategy(*strategy), *dynamic, *multi, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opass-sim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := traceio.WriteSummaryJSON(os.Stdout, rep.Raw()); err != nil {
+			fmt.Fprintln(os.Stderr, "opass-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if !*compare {
+		fmt.Print(rep.Table())
+		return
+	}
+	base, err := run(*nodes, *chunksPerProc, *chunkMB, *repl, opass.StrategyRank, *dynamic, *multi, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opass-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(opass.Compare(base, rep))
+}
+
+func run(nodes, chunksPerProc int, chunkMB float64, repl int, strategy opass.Strategy, dynamic, multi bool, seed int64) (*opass.Report, error) {
+	c, err := opass.NewClusterWithOptions(nodes, opass.Options{
+		Replication: repl,
+		ChunkMB:     chunkMB,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var plan *opass.Plan
+	if multi {
+		n := nodes * chunksPerProc
+		for name, sz := range map[string]float64{"/setA": 30, "/setB": 20, "/setC": 10} {
+			sizes := make([]float64, n)
+			for i := range sizes {
+				sizes[i] = sz
+			}
+			if err := c.StorePieces(name, sizes); err != nil {
+				return nil, err
+			}
+		}
+		tasks := make([]opass.TaskSpec, n)
+		for i := range tasks {
+			tasks[i] = opass.TaskSpec{Inputs: []opass.PieceRef{
+				{File: "/setA", Index: i},
+				{File: "/setB", Index: i},
+				{File: "/setC", Index: i},
+			}}
+		}
+		plan, err = c.PlanMultiData(strategy, tasks)
+	} else {
+		if err := c.Store("/dataset", float64(nodes*chunksPerProc)*chunkMB); err != nil {
+			return nil, err
+		}
+		plan, err = c.PlanSingleData(strategy, "/dataset")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if dynamic {
+		plan = plan.AsDynamic()
+	}
+	return c.Run(plan)
+}
+
+// runTrace replays a CSV task trace through the greedy planner (which
+// accepts mixed single-/multi-input tasks) on a fresh cluster.
+func runTrace(path string, nodes int, seed int64, dynamic bool) (*opass.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tasks, err := workload.ParseTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	rig, err := workload.TraceSpec{Nodes: nodes, Tasks: tasks, Seed: seed}.Build()
+	if err != nil {
+		return nil, err
+	}
+	a, err := (core.GreedyLocality{Seed: seed}).Assign(rig.Prob)
+	if err != nil {
+		return nil, err
+	}
+	var src engine.TaskSource = engine.NewListSource(a.Lists)
+	if dynamic {
+		sched, err := core.NewDynamicScheduler(rig.Prob, a)
+		if err != nil {
+			return nil, err
+		}
+		src = sched
+	}
+	res, err := engine.Run(engine.Options{
+		Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob,
+		ComputeTime: rig.Compute, Strategy: "trace-replay",
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	return opass.ReportOf(res), nil
+}

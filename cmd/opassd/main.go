@@ -1,0 +1,50 @@
+// Command opassd serves the Opass planners over HTTP. An application posts
+// its block layout (from its namenode) and task list; opassd returns the
+// locality-and-balance-optimized task→process assignment, or a full
+// simulated execution forecast.
+//
+// Usage:
+//
+//	opassd [-addr :8700]
+//
+// Endpoints (see internal/httpapi):
+//
+//	GET  /healthz
+//	POST /v1/plan
+//	POST /v1/simulate
+//
+// Example:
+//
+//	opassd &
+//	curl -s localhost:8700/v1/plan -d '{
+//	  "nodes": 4,
+//	  "tasks": [
+//	    {"inputs": [{"size_mb": 64, "replicas": [0, 2]}]},
+//	    {"inputs": [{"size_mb": 64, "replicas": [1, 3]}]}
+//	  ]
+//	}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"opass/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8700", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("opassd listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

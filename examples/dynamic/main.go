@@ -1,0 +1,61 @@
+// Dynamic: the §IV-D mpiBLAST scenario. Gene-comparison tasks have
+// irregular, input-dependent execution times, so the application uses a
+// master process that hands tasks to workers as they go idle. The stock
+// master is placement-oblivious; Opass gives the master per-worker
+// preferred lists and a locality-aware stealing rule.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opass"
+	"opass/internal/workload"
+)
+
+const (
+	nodes            = 16
+	fragmentsPerProc = 10
+)
+
+func main() {
+	fmt.Println("Dynamic master/worker sequence search on a", nodes, "node cluster")
+	fmt.Printf("%d database fragments, irregular (log-normal) search times\n\n",
+		nodes*fragmentsPerProc)
+
+	baseline := simulate(opass.StrategyRank)   // random dispatch baseline
+	optimized := simulate(opass.StrategyOpass) // §IV-D guided dispatch
+
+	fmt.Println()
+	fmt.Println(opass.Compare(baseline, optimized))
+	fmt.Println("the master still balances load across slow and fast tasks, but with")
+	fmt.Println("Opass each dispatched task is one the idle worker already holds —")
+	fmt.Println("reads stop competing for remote disks (the paper measures 2.7x here).")
+}
+
+func simulate(strategy opass.Strategy) *opass.Report {
+	cluster, err := opass.NewClusterWithOptions(nodes, opass.Options{Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := nodes * fragmentsPerProc
+	if err := cluster.Store("/blastdb/nt", float64(n)*64); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := cluster.PlanSingleData(strategy, "/blastdb/nt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every strategy sees identical per-fragment search costs.
+	search := workload.LogNormalCompute(n, 0.5, 1.0, 1234)
+	report, err := cluster.RunWithOptions(plan.AsDynamic(), opass.RunOptions{ComputeTime: search})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-7s %s\n", strategy, report)
+	return report
+}

@@ -1,0 +1,3 @@
+module opass
+
+go 1.22

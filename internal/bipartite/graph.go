@@ -1,0 +1,124 @@
+// Package bipartite provides the graph machinery behind Opass's planners:
+// the process↔file locality graph of §IV-A, a general max-flow solver with
+// two algorithms (Ford-Fulkerson with BFS augmenting paths, i.e.
+// Edmonds-Karp, as the paper uses; and Dinic's algorithm as a faster
+// alternative used in the scalability ablation), and maximum bipartite
+// matching built on top.
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge connects a process to a file in the locality graph. Weight is the
+// number of megabytes of the file's data that the process can read locally
+// (for whole chunks this is simply the chunk size).
+type Edge struct {
+	P      int
+	F      int
+	Weight int64
+}
+
+// Graph is the bipartite locality graph G = (P, F, E) of §IV-A: processes on
+// one side, chunk files on the other, an edge wherever a file has a replica
+// co-located with a process.
+type Graph struct {
+	numP, numF int
+	byP        [][]Edge // edges grouped by process, file-ascending
+	byF        [][]Edge // edges grouped by file, process-ascending
+	edges      int
+}
+
+// NewGraph creates an empty locality graph with numP processes and numF
+// files.
+func NewGraph(numP, numF int) *Graph {
+	if numP < 0 || numF < 0 {
+		panic(fmt.Sprintf("bipartite: invalid graph dimensions %dx%d", numP, numF))
+	}
+	return &Graph{
+		numP: numP,
+		numF: numF,
+		byP:  make([][]Edge, numP),
+		byF:  make([][]Edge, numF),
+	}
+}
+
+// NumP reports the number of process vertices.
+func (g *Graph) NumP() int { return g.numP }
+
+// NumF reports the number of file vertices.
+func (g *Graph) NumF() int { return g.numF }
+
+// NumEdges reports the number of locality edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge records that process p can read weight MB of file f locally.
+// Adding a parallel edge accumulates weight (a process may be co-located
+// with several inputs of a multi-input file/task).
+func (g *Graph) AddEdge(p, f int, weight int64) {
+	if p < 0 || p >= g.numP {
+		panic(fmt.Sprintf("bipartite: process %d out of range [0,%d)", p, g.numP))
+	}
+	if f < 0 || f >= g.numF {
+		panic(fmt.Sprintf("bipartite: file %d out of range [0,%d)", f, g.numF))
+	}
+	if weight <= 0 {
+		panic(fmt.Sprintf("bipartite: edge (%d,%d) weight %d must be positive", p, f, weight))
+	}
+	for i := range g.byP[p] {
+		if g.byP[p][i].F == f {
+			g.byP[p][i].Weight += weight
+			for j := range g.byF[f] {
+				if g.byF[f][j].P == p {
+					g.byF[f][j].Weight += weight
+					return
+				}
+			}
+			panic("bipartite: index desync")
+		}
+	}
+	e := Edge{P: p, F: f, Weight: weight}
+	g.byP[p] = append(g.byP[p], e)
+	g.byF[f] = append(g.byF[f], e)
+	g.edges++
+}
+
+// EdgesOfP lists the edges incident to process p in ascending file order.
+func (g *Graph) EdgesOfP(p int) []Edge {
+	es := append([]Edge(nil), g.byP[p]...)
+	sort.Slice(es, func(i, j int) bool { return es[i].F < es[j].F })
+	return es
+}
+
+// EdgesOfF lists the edges incident to file f in ascending process order.
+func (g *Graph) EdgesOfF(f int) []Edge {
+	es := append([]Edge(nil), g.byF[f]...)
+	sort.Slice(es, func(i, j int) bool { return es[i].P < es[j].P })
+	return es
+}
+
+// Weight returns the locality weight between p and f, zero when no edge
+// exists.
+func (g *Graph) Weight(p, f int) int64 {
+	for _, e := range g.byP[p] {
+		if e.F == f {
+			return e.Weight
+		}
+	}
+	return 0
+}
+
+// Degrees returns per-process and per-file edge counts — a quick skew probe
+// used by diagnostics.
+func (g *Graph) Degrees() (procDeg, fileDeg []int) {
+	procDeg = make([]int, g.numP)
+	fileDeg = make([]int, g.numF)
+	for p := range g.byP {
+		procDeg[p] = len(g.byP[p])
+	}
+	for f := range g.byF {
+		fileDeg[f] = len(g.byF[f])
+	}
+	return procDeg, fileDeg
+}

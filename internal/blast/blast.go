@@ -1,0 +1,151 @@
+// Package blast models the mpiBLAST-style application of §IV-D and §V-A3:
+// a gene-sequence database is formatted into fragments stored in the
+// distributed file system, and a master process dispatches
+// fragment-search tasks to slave processes as they go idle. Search times
+// are irregular ("the execution times of data processing tasks could vary
+// greatly and are difficult to predict according to the input data"), which
+// is why the application uses dynamic assignment in the first place.
+//
+// Two masters are provided through the execution engine's TaskSource
+// seam: the paper's baseline (random task per idle worker, oblivious to
+// data placement) and Opass (precomputed per-worker lists A* with
+// co-location-aware stealing).
+package blast
+
+import (
+	"fmt"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+	"opass/internal/workload"
+)
+
+// Database is a formatted sequence database: a set of fragments, each one
+// chunk in the DFS (mpiformatdb's output layout).
+type Database struct {
+	Name       string
+	FragmentMB float64
+	Fragments  []dfs.ChunkID
+}
+
+// FormatDB partitions a database of numFragments fragments of fragmentMB
+// each into the file system — the mpiformatdb step.
+func FormatDB(fs *dfs.FileSystem, name string, numFragments int, fragmentMB float64) (*Database, error) {
+	if numFragments <= 0 || fragmentMB <= 0 {
+		return nil, fmt.Errorf("blast: invalid database %d x %v MB", numFragments, fragmentMB)
+	}
+	sizes := make([]float64, numFragments)
+	for i := range sizes {
+		sizes[i] = fragmentMB
+	}
+	f, err := fs.CreateChunks(name, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{Name: name, FragmentMB: fragmentMB, Fragments: f.Chunks}, nil
+}
+
+// Mode selects the master's dispatch policy.
+type Mode int
+
+// Dispatch policies.
+const (
+	// RandomDispatch is the paper's baseline: an idle worker receives a
+	// uniformly random unexecuted task.
+	RandomDispatch Mode = iota
+	// OpassDispatch follows §IV-D: per-worker lists computed by the
+	// matching planner, with longest-list co-location-aware stealing.
+	OpassDispatch
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case RandomDispatch:
+		return "random-dynamic"
+	case OpassDispatch:
+		return "opass-dynamic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Job is one parallel search: every fragment of the database is scanned
+// once by some worker (one worker per cluster node).
+type Job struct {
+	Topo *cluster.Topology
+	FS   *dfs.FileSystem
+	DB   *Database
+	// SearchMean/SearchSigma parameterize the irregular per-fragment
+	// search time (log-normal); SearchMean <= 0 disables compute.
+	SearchMean  float64
+	SearchSigma float64
+	// Seed drives dispatch randomness and the search-time draw.
+	Seed int64
+}
+
+// problem builds the fragment-scan assignment problem.
+func (j *Job) problem() (*core.Problem, error) {
+	procNode := make([]int, j.Topo.NumNodes())
+	for i := range procNode {
+		procNode[i] = i
+	}
+	p := &core.Problem{ProcNode: procNode, FS: j.FS}
+	for i, c := range j.DB.Fragments {
+		p.Tasks = append(p.Tasks, core.Task{
+			ID:     i,
+			Inputs: []core.Input{{Chunk: c, SizeMB: j.DB.FragmentMB}},
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Run executes the job under the given dispatch mode and returns the
+// engine trace. The same Seed yields identical fragment search times across
+// modes, so comparisons are paired.
+func (j *Job) Run(mode Mode) (*engine.Result, error) {
+	if j.Topo == nil || j.FS == nil || j.DB == nil {
+		return nil, fmt.Errorf("blast: job requires Topo, FS and DB")
+	}
+	p, err := j.problem()
+	if err != nil {
+		return nil, err
+	}
+	var compute func(int) float64
+	if j.SearchMean > 0 {
+		sigma := j.SearchSigma
+		if sigma == 0 {
+			sigma = 0.8
+		}
+		compute = workload.LogNormalCompute(len(p.Tasks), j.SearchMean, sigma, j.Seed+1)
+	}
+	var src engine.TaskSource
+	switch mode {
+	case OpassDispatch:
+		plan, err := core.SingleData{Seed: j.Seed}.Assign(p)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := core.NewDynamicScheduler(p, plan)
+		if err != nil {
+			return nil, err
+		}
+		src = sched
+	case RandomDispatch:
+		src = core.NewRandomDispatcher(p, j.Seed)
+	default:
+		return nil, fmt.Errorf("blast: unknown mode %v", mode)
+	}
+	return engine.Run(engine.Options{
+		Topo:        j.Topo,
+		FS:          j.FS,
+		Problem:     p,
+		ComputeTime: compute,
+		Strategy:    mode.String(),
+	}, src)
+}

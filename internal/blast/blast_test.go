@@ -1,0 +1,142 @@
+package blast
+
+import (
+	"testing"
+
+	"opass/internal/cluster"
+	"opass/internal/dfs"
+	"opass/internal/metrics"
+)
+
+func setup(t testing.TB, nodes, fragments int, seed int64) *Job {
+	t.Helper()
+	topo := cluster.New(nodes, cluster.Marmot())
+	fs := dfs.New(topo, dfs.Config{Seed: seed})
+	db, err := FormatDB(fs, "/nt", fragments, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Job{Topo: topo, FS: fs, DB: db, Seed: seed}
+}
+
+func TestFormatDBShape(t *testing.T) {
+	j := setup(t, 8, 40, 1)
+	if len(j.DB.Fragments) != 40 {
+		t.Fatalf("fragments = %d, want 40", len(j.DB.Fragments))
+	}
+	for _, c := range j.DB.Fragments {
+		if j.FS.Chunk(c).SizeMB != 64 {
+			t.Fatal("fragment size wrong")
+		}
+	}
+}
+
+func TestFormatDBValidation(t *testing.T) {
+	topo := cluster.New(4, cluster.Marmot())
+	fs := dfs.New(topo, dfs.Config{Seed: 1})
+	if _, err := FormatDB(fs, "/bad", 0, 64); err == nil {
+		t.Fatal("zero fragments must fail")
+	}
+	if _, err := FormatDB(fs, "/bad2", 4, 0); err == nil {
+		t.Fatal("zero size must fail")
+	}
+}
+
+func TestRunBothModesScanAllFragments(t *testing.T) {
+	for _, mode := range []Mode{RandomDispatch, OpassDispatch} {
+		j := setup(t, 8, 40, 2)
+		res, err := j.Run(mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.TasksRun != 40 {
+			t.Fatalf("%v: ran %d tasks, want 40", mode, res.TasksRun)
+		}
+		if res.Strategy != mode.String() {
+			t.Fatalf("%v: strategy label %q", mode, res.Strategy)
+		}
+	}
+}
+
+func TestOpassDispatchBeatsRandom(t *testing.T) {
+	// Figure 11: with Opass the average per-read I/O time drops well below
+	// the random master's.
+	jr := setup(t, 16, 160, 3)
+	jr.SearchMean = 0.5
+	resRandom, err := jr.Run(RandomDispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jo := setup(t, 16, 160, 3)
+	jo.SearchMean = 0.5
+	resOpass, err := jo.Run(OpassDispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := metrics.Summarize(resRandom.IOTimes())
+	mo := metrics.Summarize(resOpass.IOTimes())
+	if mo.Mean >= mr.Mean {
+		t.Fatalf("opass mean I/O %v >= random %v", mo.Mean, mr.Mean)
+	}
+	if resOpass.LocalFraction() <= resRandom.LocalFraction() {
+		t.Fatalf("opass locality %v <= random %v", resOpass.LocalFraction(), resRandom.LocalFraction())
+	}
+}
+
+func TestIrregularComputeLoadBalances(t *testing.T) {
+	// Dynamic dispatch must keep workers busy despite irregular search
+	// times: no worker should finish wildly earlier than the makespan.
+	j := setup(t, 8, 80, 4)
+	j.SearchMean = 1.0
+	j.SearchSigma = 1.2
+	res, err := j.Run(OpassDispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for proc, fin := range res.ProcFinish {
+		if fin < res.Makespan*0.5 {
+			t.Fatalf("worker %d idle half the job: finished %v of %v", proc, fin, res.Makespan)
+		}
+	}
+}
+
+func TestPairedSearchTimes(t *testing.T) {
+	// The same seed gives both modes identical per-fragment search costs.
+	j1 := setup(t, 4, 16, 5)
+	j1.SearchMean = 1.0
+	r1, err := j1.Run(RandomDispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2 := setup(t, 4, 16, 5)
+	j2.SearchMean = 1.0
+	r2, err := j2.Run(OpassDispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total compute is identical, so makespans differ only through I/O and
+	// packing; both must exceed the pure compute lower bound.
+	if r1.TasksRun != r2.TasksRun {
+		t.Fatal("modes ran different task counts")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	j := &Job{}
+	if _, err := j.Run(RandomDispatch); err == nil {
+		t.Fatal("empty job must fail")
+	}
+	j2 := setup(t, 4, 8, 6)
+	if _, err := j2.Run(Mode(42)); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if RandomDispatch.String() != "random-dynamic" || OpassDispatch.String() != "opass-dynamic" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still render")
+	}
+}

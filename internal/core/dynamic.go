@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements §IV-D: Opass for dynamic parallel data access. A
+// master process owns the task pool and hands tasks to workers as they go
+// idle (the mpiBLAST execution model). Opass computes per-worker preferred
+// lists A* up front with its matching planners; the master then follows the
+// three rules of §IV-D:
+//
+//  1. pop the idle worker's own list while it is non-empty;
+//  2. otherwise steal from the longest remaining list, choosing the task in
+//     it with the largest data co-located with the idle worker;
+//  3. finish when every list is empty.
+
+// DynamicScheduler serves tasks to idle processes following the Opass
+// guideline lists. It satisfies the execution engine's TaskSource contract
+// (Next(proc) (task, ok)).
+type DynamicScheduler struct {
+	p      *Problem
+	lists  [][]int // remaining tasks per process, in list order
+	remain int
+}
+
+// NewDynamicScheduler builds a scheduler from a planned assignment
+// (normally produced by SingleData or MultiData).
+func NewDynamicScheduler(p *Problem, a *Assignment) (*DynamicScheduler, error) {
+	if err := a.Validate(p); err != nil {
+		return nil, err
+	}
+	lists := make([][]int, len(a.Lists))
+	total := 0
+	for i := range a.Lists {
+		lists[i] = append([]int(nil), a.Lists[i]...)
+		total += len(lists[i])
+	}
+	return &DynamicScheduler{p: p, lists: lists, remain: total}, nil
+}
+
+// Remaining reports how many tasks have not yet been handed out.
+func (s *DynamicScheduler) Remaining() int { return s.remain }
+
+// Next hands the idle process proc its next task. It reports ok=false when
+// every list is drained.
+func (s *DynamicScheduler) Next(proc int) (task int, ok bool) {
+	if proc < 0 || proc >= len(s.lists) {
+		panic(fmt.Sprintf("core: dynamic scheduler asked for unknown process %d", proc))
+	}
+	if s.remain == 0 {
+		return 0, false
+	}
+	// Rule 2 of §IV-D: own list first.
+	if own := s.lists[proc]; len(own) > 0 {
+		task = own[0]
+		s.lists[proc] = own[1:]
+		s.remain--
+		return task, true
+	}
+	// Rule 3: steal from the longest remaining list the task with the most
+	// data co-located with proc. Ties on list length and on co-located size
+	// break toward lower indices for determinism.
+	longest := -1
+	for k := range s.lists {
+		if longest == -1 || len(s.lists[k]) > len(s.lists[longest]) {
+			longest = k
+		}
+	}
+	if longest == -1 || len(s.lists[longest]) == 0 {
+		return 0, false
+	}
+	bestIdx, bestW := 0, -1.0
+	for i, t := range s.lists[longest] {
+		if w := s.p.CoLocatedMB(proc, t); w > bestW {
+			bestIdx, bestW = i, w
+		}
+	}
+	task = s.lists[longest][bestIdx]
+	s.lists[longest] = append(s.lists[longest][:bestIdx], s.lists[longest][bestIdx+1:]...)
+	s.remain--
+	return task, true
+}
+
+// RandomDispatcher is the baseline master of the paper's dynamic
+// experiments: it hands an idle worker a uniformly random unexecuted task,
+// with no knowledge of data placement ("issue data requests via a random
+// policy", §V-A3).
+type RandomDispatcher struct {
+	pool []int
+	rng  *rand.Rand
+}
+
+// NewRandomDispatcher builds a dispatcher over all tasks of the problem.
+func NewRandomDispatcher(p *Problem, seed int64) *RandomDispatcher {
+	pool := make([]int, len(p.Tasks))
+	for i := range pool {
+		pool[i] = i
+	}
+	return &RandomDispatcher{pool: pool, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Remaining reports how many tasks have not yet been handed out.
+func (d *RandomDispatcher) Remaining() int { return len(d.pool) }
+
+// Next hands any idle process a random remaining task.
+func (d *RandomDispatcher) Next(_ int) (task int, ok bool) {
+	if len(d.pool) == 0 {
+		return 0, false
+	}
+	i := d.rng.Intn(len(d.pool))
+	task = d.pool[i]
+	d.pool[i] = d.pool[len(d.pool)-1]
+	d.pool = d.pool[:len(d.pool)-1]
+	return task, true
+}
+
+// FIFODispatcher hands tasks out in ID order — a deterministic non-random
+// baseline used in tests and the ablation suite.
+type FIFODispatcher struct {
+	next, n int
+}
+
+// NewFIFODispatcher builds a dispatcher over all tasks of the problem.
+func NewFIFODispatcher(p *Problem) *FIFODispatcher {
+	return &FIFODispatcher{n: len(p.Tasks)}
+}
+
+// Remaining reports how many tasks have not yet been handed out.
+func (d *FIFODispatcher) Remaining() int { return d.n - d.next }
+
+// Next hands any idle process the next task in ID order.
+func (d *FIFODispatcher) Next(_ int) (task int, ok bool) {
+	if d.next >= d.n {
+		return 0, false
+	}
+	task = d.next
+	d.next++
+	return task, true
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GreedyLocality is a near-linear-time heuristic alternative to the
+// flow-based single-data planner. §V-C2 of the paper notes that "as the
+// problem size becomes extremely large, the matching method may not be
+// scalable" and leaves the issue to future work; this planner is that
+// future-work point, trading optimality for an O(E log E) pass:
+//
+//  1. order tasks by how few co-located processes they have (scarcest
+//     first, the classic matching heuristic), and
+//  2. give each task to its co-located process with the most remaining
+//     quota, then
+//  3. repair the leftovers exactly like the flow planner.
+//
+// The ablation benchmarks (BenchmarkPlanner*) and the quality experiment
+// compare it against the optimal flow matching: it typically reaches within
+// a few percent of the flow planner's locality at a fraction of the cost.
+type GreedyLocality struct {
+	Seed int64
+}
+
+// Name implements Assigner.
+func (GreedyLocality) Name() string { return "opass-greedy" }
+
+// Assign implements Assigner.
+func (g GreedyLocality) Assign(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(p.Tasks), p.NumProcs()
+	quotas := taskQuotas(n, m)
+
+	// Co-located processes per task (the task's admissible set).
+	cand := make([][]int, n)
+	for t := 0; t < n; t++ {
+		for proc := 0; proc < m; proc++ {
+			if p.CoLocatedMB(proc, t) > 0 {
+				cand[t] = append(cand[t], proc)
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if len(cand[order[a]]) != len(cand[order[b]]) {
+			return len(cand[order[a]]) < len(cand[order[b]])
+		}
+		return order[a] < order[b]
+	})
+
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	counts := make([]int, m)
+	for _, t := range order {
+		best := -1
+		for _, proc := range cand[t] {
+			if counts[proc] >= quotas[proc] {
+				continue
+			}
+			// Most remaining quota keeps the assignment balanced; ties
+			// break toward the larger co-located size, then lower rank.
+			switch {
+			case best == -1:
+				best = proc
+			case quotas[proc]-counts[proc] > quotas[best]-counts[best]:
+				best = proc
+			case quotas[proc]-counts[proc] == quotas[best]-counts[best] &&
+				p.CoLocatedMB(proc, t) > p.CoLocatedMB(best, t):
+				best = proc
+			}
+		}
+		if best >= 0 {
+			owner[t] = best
+			counts[best]++
+		}
+	}
+
+	rng := rand.New(rand.NewSource(g.Seed))
+	repairUnmatched(p, owner, rng)
+
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	sortEachList(a.Lists)
+	fillLocality(p, a)
+	return a, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// MultiData is the Opass planner for tasks with multiple data inputs
+// (Algorithm 1, §IV-C). It generalizes the stable-marriage procedure to a
+// one-to-many matching: every under-quota process proposes to the
+// not-yet-considered task with the largest co-located data size; a task
+// accepts a proposal when it is unassigned or when the proposer holds more
+// of its data than its current owner (reassignment, Figure 6b). The
+// algorithm is optimal from the perspective of each process, like the
+// proposer-optimal Gale-Shapley matching.
+type MultiData struct {
+	// Seed drives the random placement of tasks that no process holds any
+	// data for.
+	Seed int64
+}
+
+// Name implements Assigner.
+func (MultiData) Name() string { return "opass-matching" }
+
+// Assign implements Assigner.
+func (md MultiData) Assign(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(p.Tasks), p.NumProcs()
+	quotas := taskQuotas(n, m)
+
+	// Matching values m_i^j, kept sparse per process as a preference list
+	// sorted by descending co-located size (ties by ascending task ID for
+	// determinism). Only tasks with positive co-located data appear; tasks
+	// with zero affinity everywhere are handled by the final repair, which
+	// is equivalent to proposing with value zero.
+	match := make([]map[int]float64, m) // proc -> task -> MB
+	prefs := make([][]int, m)           // proc -> tasks, best first
+	for proc := 0; proc < m; proc++ {
+		match[proc] = make(map[int]float64)
+		for t := 0; t < n; t++ {
+			if w := p.CoLocatedMB(proc, t); w > 0 {
+				match[proc][t] = w
+				prefs[proc] = append(prefs[proc], t)
+			}
+		}
+		mp := match[proc]
+		sort.Slice(prefs[proc], func(a, b int) bool {
+			ta, tb := prefs[proc][a], prefs[proc][b]
+			if mp[ta] != mp[tb] {
+				return mp[ta] > mp[tb]
+			}
+			return ta < tb
+		})
+	}
+
+	owner := make([]int, n)
+	for t := range owner {
+		owner[t] = -1
+	}
+	counts := make([]int, m)
+	cursor := make([]int, m) // next preference index to consider
+
+	// Work queue of processes that are under quota and still have
+	// unconsidered tasks. Round-robin order keeps the run deterministic; a
+	// process re-enters the queue when a reassignment drops it under quota.
+	queue := make([]int, 0, m)
+	inQueue := make([]bool, m)
+	push := func(proc int) {
+		if !inQueue[proc] && counts[proc] < quotas[proc] && cursor[proc] < len(prefs[proc]) {
+			queue = append(queue, proc)
+			inQueue[proc] = true
+		}
+	}
+	for proc := 0; proc < m; proc++ {
+		push(proc)
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		inQueue[k] = false
+		if counts[k] >= quotas[k] {
+			continue
+		}
+		// Propose to the best not-yet-considered task (line 7).
+		for cursor[k] < len(prefs[k]) && counts[k] < quotas[k] {
+			x := prefs[k][cursor[k]]
+			cursor[k]++ // record that k considered x (line 16)
+			cur := owner[x]
+			if cur == -1 {
+				owner[x] = k // line 9
+				counts[k]++
+				continue
+			}
+			if match[cur][x] < match[k][x] { // line 11
+				owner[x] = k // lines 12-13
+				counts[k]++
+				counts[cur]--
+				push(cur) // the victim resumes proposing
+			}
+		}
+		push(k)
+	}
+
+	// Repair: tasks nobody claimed (either zero affinity everywhere or all
+	// co-located processes filled their quotas with better matches) go to
+	// the under-quota process holding the most of their data, falling back
+	// to random balance.
+	rng := rand.New(rand.NewSource(md.Seed))
+	loadMB := make([]float64, m)
+	for t, o := range owner {
+		if o >= 0 {
+			loadMB[o] += p.Tasks[t].SizeMB()
+		}
+	}
+	for t := 0; t < n; t++ {
+		if owner[t] >= 0 {
+			continue
+		}
+		best, bestW := -1, -1.0
+		for proc := 0; proc < m; proc++ {
+			if counts[proc] >= quotas[proc] {
+				continue
+			}
+			if w := match[proc][t]; w > bestW {
+				best, bestW = proc, w
+			}
+		}
+		if best < 0 || bestW <= 0 {
+			if proc := pickSmallest(loadMB, counts, quotas, rng); proc >= 0 {
+				best = proc
+			} else if best < 0 {
+				best = 0
+			}
+		}
+		owner[t] = best
+		counts[best]++
+		loadMB[best] += p.Tasks[t].SizeMB()
+	}
+
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	sortEachList(a.Lists)
+	fillLocality(p, a)
+	return a, nil
+}

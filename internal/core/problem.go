@@ -1,0 +1,279 @@
+// Package core implements Opass itself: the encoding of parallel data
+// requests as a process-to-data bipartite matching (§IV-A of the paper),
+// the flow-based optimizer for parallel single-data access (§IV-B), the
+// matching-based algorithm for multi-data access (Algorithm 1, §IV-C), the
+// dynamic scheduler for heterogeneous master/worker execution (§IV-D), and
+// the locality-oblivious baselines the paper compares against.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"opass/internal/bipartite"
+	"opass/internal/dfs"
+)
+
+// Input is one data dependency of a task: a chunk in the file system and
+// the amount of its data the task reads (normally the whole chunk).
+type Input struct {
+	Chunk  dfs.ChunkID
+	SizeMB float64
+}
+
+// Task is one data-processing operator. Single-data tasks carry one input;
+// multi-data tasks (e.g. cross-species genome comparison) carry several.
+type Task struct {
+	ID     int
+	Inputs []Input
+}
+
+// SizeMB is the total input data of the task.
+func (t *Task) SizeMB() float64 {
+	var s float64
+	for _, in := range t.Inputs {
+		s += in.SizeMB
+	}
+	return s
+}
+
+// Problem is a complete assignment problem: which processes run where,
+// which tasks must be executed, and the file system holding the chunk
+// placement metadata.
+type Problem struct {
+	// ProcNode[i] is the cluster node hosting process rank i.
+	ProcNode []int
+	// Tasks to assign; IDs must equal their slice index.
+	Tasks []Task
+	// FS supplies chunk placement (the namenode metadata Opass queries).
+	FS *dfs.FileSystem
+}
+
+// Validate checks structural consistency; planners call it first.
+func (p *Problem) Validate() error {
+	if len(p.ProcNode) == 0 {
+		return fmt.Errorf("core: problem has no processes")
+	}
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("core: problem has no tasks")
+	}
+	if p.FS == nil {
+		return fmt.Errorf("core: problem has no file system")
+	}
+	for i, t := range p.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("core: task %d has ID %d; IDs must be dense", i, t.ID)
+		}
+		if len(t.Inputs) == 0 {
+			return fmt.Errorf("core: task %d has no inputs", i)
+		}
+		for _, in := range t.Inputs {
+			if in.SizeMB <= 0 {
+				return fmt.Errorf("core: task %d input chunk %d has size %v", i, in.Chunk, in.SizeMB)
+			}
+		}
+	}
+	return nil
+}
+
+// NumProcs reports the process count.
+func (p *Problem) NumProcs() int { return len(p.ProcNode) }
+
+// TotalMB is the aggregate input size over all tasks.
+func (p *Problem) TotalMB() float64 {
+	var s float64
+	for i := range p.Tasks {
+		s += p.Tasks[i].SizeMB()
+	}
+	return s
+}
+
+// CoLocatedMB computes the matching value m_i^j of Algorithm 1: the amount
+// of task j's input data that has a replica on process i's node.
+func (p *Problem) CoLocatedMB(proc, task int) float64 {
+	node := p.ProcNode[proc]
+	var s float64
+	for _, in := range p.Tasks[task].Inputs {
+		if p.FS.Chunk(in.Chunk).HostedOn(node) {
+			s += in.SizeMB
+		}
+	}
+	return s
+}
+
+// SingleDataProblem builds a Problem with one task per chunk of the given
+// files — the workload shape of the paper's single-data experiments (each
+// ParaView-style task consumes exactly one chunk file).
+func SingleDataProblem(fs *dfs.FileSystem, files []string, procNode []int) (*Problem, error) {
+	p := &Problem{ProcNode: procNode, FS: fs}
+	for _, name := range files {
+		locs, err := fs.BlockLocations(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, loc := range locs {
+			p.Tasks = append(p.Tasks, Task{
+				ID:     len(p.Tasks),
+				Inputs: []Input{{Chunk: loc.Chunk, SizeMB: loc.SizeMB}},
+			})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Assignment is a complete task→process mapping.
+type Assignment struct {
+	// Owner[t] is the process assigned task t.
+	Owner []int
+	// Lists[p] are the tasks of process p, in the planner's preferred
+	// execution order.
+	Lists [][]int
+	// PlannedLocalMB is the input data co-located with its owner under this
+	// assignment; PlannedTotalMB is the total input data.
+	PlannedLocalMB float64
+	PlannedTotalMB float64
+}
+
+// LocalityFraction is the planned fraction of data readable locally.
+func (a *Assignment) LocalityFraction() float64 {
+	if a.PlannedTotalMB == 0 {
+		return 0
+	}
+	return a.PlannedLocalMB / a.PlannedTotalMB
+}
+
+// Validate checks that the assignment covers every task exactly once and
+// stays consistent with its lists.
+func (a *Assignment) Validate(p *Problem) error {
+	if len(a.Owner) != len(p.Tasks) {
+		return fmt.Errorf("core: assignment covers %d tasks, want %d", len(a.Owner), len(p.Tasks))
+	}
+	if len(a.Lists) != p.NumProcs() {
+		return fmt.Errorf("core: assignment has %d lists, want %d", len(a.Lists), p.NumProcs())
+	}
+	seen := make([]bool, len(p.Tasks))
+	for proc, list := range a.Lists {
+		for _, t := range list {
+			if t < 0 || t >= len(p.Tasks) {
+				return fmt.Errorf("core: list of proc %d contains invalid task %d", proc, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("core: task %d appears in multiple lists", t)
+			}
+			seen[t] = true
+			if a.Owner[t] != proc {
+				return fmt.Errorf("core: task %d in list of proc %d but owned by %d", t, proc, a.Owner[t])
+			}
+		}
+	}
+	for t, ok := range seen {
+		if !ok {
+			return fmt.Errorf("core: task %d not assigned", t)
+		}
+	}
+	return nil
+}
+
+// fillLocality computes the planned locality statistics for an assignment.
+func fillLocality(p *Problem, a *Assignment) {
+	a.PlannedLocalMB = 0
+	a.PlannedTotalMB = p.TotalMB()
+	for t, proc := range a.Owner {
+		a.PlannedLocalMB += p.CoLocatedMB(proc, t)
+	}
+}
+
+// buildLists derives per-process ordered lists from Owner.
+func buildLists(p *Problem, owner []int) [][]int {
+	lists := make([][]int, p.NumProcs())
+	for t, proc := range owner {
+		lists[proc] = append(lists[proc], t)
+	}
+	return lists
+}
+
+// Assigner is a task-assignment strategy: Opass planners and baselines.
+type Assigner interface {
+	// Name identifies the strategy in reports ("opass-flow", "rank-static"...).
+	Name() string
+	// Assign computes a complete assignment for the problem.
+	Assign(p *Problem) (*Assignment, error)
+}
+
+// taskQuotas splits n tasks over m processes as evenly as possible: the
+// first n%m processes receive one extra task, mirroring the paper's
+// "assigned an equal number of tasks" constraint.
+func taskQuotas(n, m int) []int {
+	q := make([]int, m)
+	base, rem := n/m, n%m
+	for i := range q {
+		q[i] = base
+		if i < rem {
+			q[i]++
+		}
+	}
+	return q
+}
+
+// mbInt converts a size in MB to the integer capacity units used by the
+// flow network, rounding to the nearest whole MB but never below 1.
+func mbInt(size float64) int64 {
+	v := int64(math.Round(size))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// localityGraph builds the §IV-A bipartite graph: an edge (p, t) with
+// weight equal to the co-located megabytes whenever any input of task t has
+// a replica on process p's node.
+func localityGraph(p *Problem) *bipartite.Graph {
+	g := bipartite.NewGraph(p.NumProcs(), len(p.Tasks))
+	for t := range p.Tasks {
+		for proc := range p.ProcNode {
+			if w := p.CoLocatedMB(proc, t); w > 0 {
+				g.AddEdge(proc, t, mbInt(w))
+			}
+		}
+	}
+	return g
+}
+
+// pickSmallest returns the index of the under-quota process with the least
+// assigned MB, breaking ties uniformly at random — the repair rule for
+// unmatched tasks ("we randomly assign unmatched tasks to each such
+// process", §IV-B).
+func pickSmallest(loadMB []float64, counts, quotas []int, rng *rand.Rand) int {
+	best := -1
+	ties := 0
+	for i := range loadMB {
+		if counts[i] >= quotas[i] {
+			continue
+		}
+		switch {
+		case best == -1 || loadMB[i] < loadMB[best]:
+			best = i
+			ties = 1
+		case loadMB[i] == loadMB[best]:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// sortEachList orders every process's list by task ID for deterministic
+// execution order.
+func sortEachList(lists [][]int) {
+	for i := range lists {
+		sort.Ints(lists[i])
+	}
+}

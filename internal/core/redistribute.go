@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"opass/internal/dfs"
+)
+
+// dfsChunkID converts Migration's compact int back to the dfs ID type.
+func dfsChunkID(v int) dfs.ChunkID { return dfs.ChunkID(v) }
+
+// This file implements the data redistribution extension. §V-C1 of the
+// paper observes that when tasks have many scattered inputs "our method may
+// not work as well and data reconstruction/redistribution may be needed",
+// citing MRAP, and declares it beyond the paper's scope. The planner below
+// closes that gap: given an assignment, it relocates replicas so that the
+// assignment's remote inputs become local, and reports the one-time
+// migration cost so callers can weigh it against the recurring remote-read
+// traffic it eliminates (worthwhile exactly when the dataset is read many
+// times, the iterative-analysis scenario from the paper's introduction).
+
+// Migration describes one planned replica move.
+type Migration struct {
+	Chunk  int // dfs.ChunkID, kept as int for compact printing
+	From   int
+	To     int
+	SizeMB float64
+}
+
+// RedistributionPlan is the outcome of PlanRedistribution.
+type RedistributionPlan struct {
+	// Migrations lists the replica moves, in task order.
+	Migrations []Migration
+	// MovedMB is the total migration traffic.
+	MovedMB float64
+	// RemoteMBPerRun is the remote traffic the assignment incurs per
+	// execution before redistribution; after applying the plan it is zero
+	// for single-input tasks and whatever locality conflicts remain for
+	// multi-input ones.
+	RemoteMBPerRun float64
+	// BreakEvenRuns is how many executions amortize the migration:
+	// MovedMB / RemoteMBPerRun (0 when nothing is remote).
+	BreakEvenRuns float64
+}
+
+// PlanRedistribution computes the replica moves that make assignment a
+// fully local on problem p. For every input chunk not hosted on its owner's
+// node, one replica is relocated there — taken from the replica holder
+// currently hosting the most data, so the move also reduces storage skew.
+// The file system is not modified; use Apply.
+func PlanRedistribution(p *Problem, a *Assignment) (*RedistributionPlan, error) {
+	if err := a.Validate(p); err != nil {
+		return nil, err
+	}
+	plan := &RedistributionPlan{}
+	// Track hypothetical placement changes so multiple tasks sharing a
+	// chunk don't double-move it.
+	moved := map[int]int{} // chunk -> new node
+	hostedMB := make(map[int]float64, p.NumProcs())
+	for n := 0; n < p.FS.NumLiveNodes(); n++ {
+		hostedMB[n] = p.FS.StoredMB(n)
+	}
+	for t, owner := range a.Owner {
+		node := p.ProcNode[owner]
+		for _, in := range p.Tasks[t].Inputs {
+			c := p.FS.Chunk(in.Chunk)
+			if c.HostedOn(node) || moved[int(in.Chunk)] == node+1 {
+				continue
+			}
+			plan.RemoteMBPerRun += in.SizeMB
+			if moved[int(in.Chunk)] != 0 {
+				// Already being moved for another task; only one home.
+				continue
+			}
+			// Donate from the most loaded current holder.
+			src := c.Replicas[0]
+			for _, r := range c.Replicas {
+				if hostedMB[r] > hostedMB[src] {
+					src = r
+				}
+			}
+			plan.Migrations = append(plan.Migrations, Migration{
+				Chunk: int(in.Chunk), From: src, To: node, SizeMB: c.SizeMB,
+			})
+			plan.MovedMB += c.SizeMB
+			moved[int(in.Chunk)] = node + 1
+			hostedMB[src] -= c.SizeMB
+			hostedMB[node] += c.SizeMB
+		}
+	}
+	sort.Slice(plan.Migrations, func(i, j int) bool { return plan.Migrations[i].Chunk < plan.Migrations[j].Chunk })
+	if plan.RemoteMBPerRun > 0 {
+		plan.BreakEvenRuns = plan.MovedMB / plan.RemoteMBPerRun
+	}
+	return plan, nil
+}
+
+// Apply executes the plan against the problem's file system. It returns an
+// error on the first migration that fails (earlier moves stay applied, as
+// a real migration tool's partial progress would).
+func (plan *RedistributionPlan) Apply(p *Problem) error {
+	for _, m := range plan.Migrations {
+		if err := p.FS.MoveReplica(dfsChunkID(m.Chunk), m.From, m.To); err != nil {
+			return fmt.Errorf("core: applying migration of chunk %d: %w", m.Chunk, err)
+		}
+	}
+	return nil
+}

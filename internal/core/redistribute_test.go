@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+func TestRedistributionMakesAssignmentLocal(t *testing.T) {
+	// Clustered placement: all data on nodes 0..2 of 8, so Opass cannot get
+	// past partial locality; redistribution should finish the job.
+	p, fs := buildSingle(t, 8, 40, 31, dfs.ClusteredPlacement{})
+	a, err := SingleData{}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LocalityFraction() >= 1 {
+		t.Fatalf("locality already %v; fixture broken", a.LocalityFraction())
+	}
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MovedMB == 0 || len(plan.Migrations) == 0 {
+		t.Fatal("plan moved nothing despite remote inputs")
+	}
+	if err := plan.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute locality of the SAME assignment on the mutated placement.
+	fillLocality(p, a)
+	if a.LocalityFraction() != 1.0 {
+		t.Fatalf("post-redistribution locality %v, want 1.0", a.LocalityFraction())
+	}
+	// Replica invariants survived the surgery.
+	for i := 0; i < fs.NumChunks(); i++ {
+		c := fs.Chunk(dfs.ChunkID(i))
+		seen := map[int]bool{}
+		for _, r := range c.Replicas {
+			if seen[r] {
+				t.Fatalf("chunk %d has duplicate replica after redistribution", i)
+			}
+			seen[r] = true
+		}
+		if len(c.Replicas) != 3 {
+			t.Fatalf("chunk %d replication changed to %d", i, len(c.Replicas))
+		}
+	}
+}
+
+func TestRedistributionBreakEven(t *testing.T) {
+	p, _ := buildSingle(t, 8, 40, 32, dfs.ClusteredPlacement{})
+	a, _ := SingleData{}.Assign(p)
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving a chunk once costs the same as reading it remotely once, so a
+	// single-input workload breaks even after exactly one run.
+	if plan.BreakEvenRuns < 0.99 || plan.BreakEvenRuns > 1.01 {
+		t.Fatalf("break-even runs = %v, want ~1 for single-input tasks", plan.BreakEvenRuns)
+	}
+}
+
+func TestRedistributionNoopWhenFullyLocal(t *testing.T) {
+	p, _ := buildSingle(t, 8, 80, 33, dfs.RoundRobinPlacement{})
+	a, _ := SingleData{}.Assign(p)
+	if a.LocalityFraction() != 1 {
+		t.Fatal("fixture should be fully local")
+	}
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Migrations) != 0 || plan.MovedMB != 0 || plan.BreakEvenRuns != 0 {
+		t.Fatalf("expected empty plan, got %+v", plan)
+	}
+}
+
+func TestRedistributionMultiData(t *testing.T) {
+	p := multiProblem(t, 8, 24, 34)
+	a, err := MultiData{}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.LocalityFraction()
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	fillLocality(p, a)
+	if a.LocalityFraction() <= before {
+		t.Fatalf("redistribution did not improve multi-data locality: %v -> %v",
+			before, a.LocalityFraction())
+	}
+	if a.LocalityFraction() != 1.0 {
+		t.Fatalf("multi-data locality after redistribution %v, want 1.0", a.LocalityFraction())
+	}
+}
+
+func TestRedistributionValidatesAssignment(t *testing.T) {
+	p, _ := buildSingle(t, 4, 8, 35, dfs.RandomPlacement{})
+	bad := &Assignment{Owner: []int{0}, Lists: make([][]int, 4)}
+	if _, err := PlanRedistribution(p, bad); err == nil {
+		t.Fatal("invalid assignment must be rejected")
+	}
+}
+
+func TestReplicaSurgeryPrimitives(t *testing.T) {
+	fs := dfs.New(view{8}, dfs.Config{Seed: 36})
+	f, _ := fs.Create("/a", 64)
+	c := fs.Chunk(f.Chunks[0])
+	free := -1
+	for n := 0; n < 8; n++ {
+		if !c.HostedOn(n) {
+			free = n
+			break
+		}
+	}
+	if err := fs.AddReplica(c.ID, free); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Replicas) != 4 || !c.HostedOn(free) {
+		t.Fatalf("add replica failed: %v", c.Replicas)
+	}
+	if err := fs.AddReplica(c.ID, free); err == nil {
+		t.Fatal("duplicate add must fail")
+	}
+	if err := fs.RemoveReplica(c.ID, free); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostedOn(free) {
+		t.Fatal("remove replica failed")
+	}
+	if err := fs.RemoveReplica(c.ID, free); err == nil {
+		t.Fatal("removing absent replica must fail")
+	}
+	// Refuse to drop the last copy.
+	for len(c.Replicas) > 1 {
+		if err := fs.RemoveReplica(c.ID, c.Replicas[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.RemoveReplica(c.ID, c.Replicas[0]); err == nil {
+		t.Fatal("last replica must be protected")
+	}
+	// Move: src must hold a copy, dst must not.
+	src := c.Replicas[0]
+	dst := (src + 1) % 8
+	if err := fs.MoveReplica(c.ID, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostedOn(src) || !c.HostedOn(dst) {
+		t.Fatalf("move failed: %v", c.Replicas)
+	}
+	if err := fs.MoveReplica(c.ID, src, dst); err == nil {
+		t.Fatal("move from non-holder must fail")
+	}
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opass/internal/bipartite"
+)
+
+// SingleData is the Opass planner for parallel single-data access (§IV-B):
+// every task consumes one chunk file and every process must receive an
+// equal share of the data. The planner encodes the locality graph as the
+// flow network of Figure 5, computes a maximum flow with Ford-Fulkerson
+// (whose flow-augmenting paths implement the paper's assignment
+// cancellation policy), and then randomly assigns any unmatched tasks to
+// processes that are still below their TotalSize/m share.
+type SingleData struct {
+	// Algorithm selects the max-flow solver; the zero value is
+	// Edmonds-Karp, as in the paper.
+	Algorithm bipartite.Algorithm
+	// Seed drives the random repair step for unmatched tasks.
+	Seed int64
+	// Weights optionally skews the per-process data share ("load
+	// capacity", as the paper's abstract calls it): process i receives a
+	// quota proportional to Weights[i] instead of the uniform TotalSize/m.
+	// Useful on heterogeneous clusters where slow nodes should read less.
+	// nil means equal shares, as in the paper's evaluation.
+	Weights []float64
+}
+
+// Name implements Assigner.
+func (SingleData) Name() string { return "opass-flow" }
+
+// Assign implements Assigner.
+func (s SingleData) Assign(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range p.Tasks {
+		if len(p.Tasks[i].Inputs) != 1 {
+			return nil, fmt.Errorf("core: single-data planner given task %d with %d inputs; use MultiData", i, len(p.Tasks[i].Inputs))
+		}
+	}
+	n, m := len(p.Tasks), p.NumProcs()
+	g := localityGraph(p)
+
+	// Per-process data quota: TotalSize/m (or weight-proportional shares),
+	// in whole MB with the rounding remainder spread over the first
+	// processes so quotas sum to the total.
+	sizes := make([]int64, n)
+	var total int64
+	for t := range p.Tasks {
+		sizes[t] = mbInt(p.Tasks[t].SizeMB())
+		total += sizes[t]
+	}
+	quotasMB, err := shareQuotas(total, m, s.Weights)
+	if err != nil {
+		return nil, err
+	}
+	if s.Weights == nil && equalSizes(sizes) {
+		// With equal task sizes the paper's constraint is really "equal
+		// task counts"; expressing the quota as counts*size keeps the flow
+		// formulation correct even when there are fewer tasks than
+		// processes (TotalSize/m would then be smaller than one task and
+		// nothing could match).
+		counts := taskQuotas(n, m)
+		for i := range quotasMB {
+			quotasMB[i] = int64(counts[i]) * sizes[0]
+		}
+	}
+
+	var owner []int
+	if s.Algorithm == bipartite.Kuhn && equalSizes(sizes) {
+		// Equal sizes degenerate the flow problem to quota-constrained
+		// bipartite matching, which the direct matcher solves without
+		// building the flow network.
+		quotaTasks := make([]int, m)
+		for i, q := range quotasMB {
+			quotaTasks[i] = int(q / sizes[0])
+		}
+		owner, _ = bipartite.MatchAugmenting(g, quotaTasks)
+	} else {
+		algo := s.Algorithm
+		if algo == bipartite.Kuhn {
+			algo = bipartite.EdmondsKarp // unequal sizes: matching does not apply
+		}
+		res := bipartite.AssignMaxLocality(g, quotasMB, sizes, algo)
+		owner = append([]int(nil), res.Owner...)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	if s.Weights == nil {
+		repairUnmatched(p, owner, rng)
+	} else {
+		repairUnmatchedWeighted(p, owner, quotasMB, rng)
+	}
+
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	sortEachList(a.Lists)
+	fillLocality(p, a)
+	return a, nil
+}
+
+// equalSizes reports whether every task size is identical.
+func equalSizes(sizes []int64) bool {
+	for _, s := range sizes[1:] {
+		if s != sizes[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// shareQuotas splits total MB over m processes — equally when weights is
+// nil, else proportionally to weights — spreading the integer remainder
+// over the first processes so the quotas sum exactly to total.
+func shareQuotas(total int64, m int, weights []float64) ([]int64, error) {
+	quotas := make([]int64, m)
+	if weights == nil {
+		base, rem := total/int64(m), total%int64(m)
+		for i := range quotas {
+			quotas[i] = base
+			if int64(i) < rem {
+				quotas[i]++
+			}
+		}
+		return quotas, nil
+	}
+	if len(weights) != m {
+		return nil, fmt.Errorf("core: %d weights for %d processes", len(weights), m)
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("core: weight[%d] = %v must be non-negative", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: weights sum to zero")
+	}
+	var given int64
+	for i, w := range weights {
+		quotas[i] = int64(float64(total) * w / sum)
+		given += quotas[i]
+	}
+	for i := 0; given < total; i = (i + 1) % m {
+		if weights[i] > 0 {
+			quotas[i]++
+			given++
+		}
+	}
+	return quotas, nil
+}
+
+// repairUnmatchedWeighted assigns leftover tasks to the process with the
+// most remaining MB quota (weight-aware variant of repairUnmatched).
+func repairUnmatchedWeighted(p *Problem, owner []int, quotasMB []int64, rng *rand.Rand) {
+	m := p.NumProcs()
+	loadMB := make([]float64, m)
+	for t, o := range owner {
+		if o >= 0 {
+			loadMB[o] += p.Tasks[t].SizeMB()
+		}
+	}
+	for t := range owner {
+		if owner[t] >= 0 {
+			continue
+		}
+		best, ties := -1, 0
+		for i := 0; i < m; i++ {
+			slack := float64(quotasMB[i]) - loadMB[i]
+			var bestSlack float64
+			if best >= 0 {
+				bestSlack = float64(quotasMB[best]) - loadMB[best]
+			}
+			switch {
+			case best == -1 || slack > bestSlack:
+				best = i
+				ties = 1
+			case slack == bestSlack:
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = i
+				}
+			}
+		}
+		owner[t] = best
+		loadMB[best] += p.Tasks[t].SizeMB()
+	}
+}
+
+// repairUnmatched assigns every task with owner -1 to an under-quota
+// process chosen by least current load (ties broken randomly), falling back
+// to global least-load if rounding left no process under its count quota.
+func repairUnmatched(p *Problem, owner []int, rng *rand.Rand) {
+	n, m := len(owner), p.NumProcs()
+	quotas := taskQuotas(n, m)
+	counts := make([]int, m)
+	loadMB := make([]float64, m)
+	for t, o := range owner {
+		if o >= 0 {
+			counts[o]++
+			loadMB[o] += p.Tasks[t].SizeMB()
+		}
+	}
+	// Deterministic order over unmatched tasks.
+	for t := 0; t < n; t++ {
+		if owner[t] >= 0 {
+			continue
+		}
+		proc := pickSmallest(loadMB, counts, quotas, rng)
+		if proc < 0 {
+			// All processes at count quota (possible with unequal sizes):
+			// fall back to the least-loaded process overall.
+			proc = 0
+			for i := 1; i < m; i++ {
+				if loadMB[i] < loadMB[proc] {
+					proc = i
+				}
+			}
+		}
+		owner[t] = proc
+		counts[proc]++
+		loadMB[proc] += p.Tasks[t].SizeMB()
+	}
+}
+
+// RankStatic is the baseline assignment the paper attributes to ParaView
+// (§II-B): process i receives the contiguous file interval
+// [i*n/m, (i+1)*n/m), decided purely by process rank with no knowledge of
+// data placement.
+type RankStatic struct{}
+
+// Name implements Assigner.
+func (RankStatic) Name() string { return "rank-static" }
+
+// Assign implements Assigner.
+func (RankStatic) Assign(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(p.Tasks), p.NumProcs()
+	owner := make([]int, n)
+	for i := 0; i < m; i++ {
+		lo := i * n / m
+		hi := (i + 1) * n / m
+		for t := lo; t < hi; t++ {
+			owner[t] = i
+		}
+	}
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	fillLocality(p, a)
+	return a, nil
+}
+
+// RandomStatic deals tasks to processes uniformly at random while keeping
+// task counts equal — a second locality-oblivious baseline that removes the
+// rank-interval correlation of RankStatic.
+type RandomStatic struct {
+	Seed int64
+}
+
+// Name implements Assigner.
+func (RandomStatic) Name() string { return "random-static" }
+
+// Assign implements Assigner.
+func (r RandomStatic) Assign(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(p.Tasks), p.NumProcs()
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(n)
+	owner := make([]int, n)
+	quotas := taskQuotas(n, m)
+	proc, used := 0, 0
+	for _, t := range perm {
+		for used >= quotas[proc] {
+			proc++
+			used = 0
+		}
+		owner[t] = proc
+		used++
+	}
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	sortEachList(a.Lists)
+	fillLocality(p, a)
+	return a, nil
+}

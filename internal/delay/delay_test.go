@@ -1,0 +1,154 @@
+package delay
+
+import (
+	"testing"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+	"opass/internal/workload"
+)
+
+func buildRig(t testing.TB, nodes, chunks int, seed int64) *workload.Rig {
+	t.Helper()
+	rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: chunks / nodes, Seed: seed}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func TestDispatcherServesEveryTaskOnce(t *testing.T) {
+	rig := buildRig(t, 8, 40, 1)
+	d := NewDispatcher(rig.Prob, 3, 1)
+	seen := map[int]bool{}
+	waits := 0
+	for len(seen) < 40 {
+		task, st := d.Poll(len(seen)%8, waits > 100)
+		switch st {
+		case engine.PollTask:
+			if seen[task] {
+				t.Fatalf("task %d served twice", task)
+			}
+			seen[task] = true
+		case engine.PollWait:
+			waits++
+			if waits > 10000 {
+				t.Fatal("dispatcher wedged in wait")
+			}
+		case engine.PollDone:
+			t.Fatalf("done with %d tasks unserved", 40-len(seen))
+		}
+	}
+	if _, st := d.Poll(0, false); st != engine.PollDone {
+		t.Fatal("drained dispatcher must answer done")
+	}
+	if d.Remaining() != 0 {
+		t.Fatal("remaining not zero")
+	}
+}
+
+func TestDispatcherPrefersLocalTask(t *testing.T) {
+	rig := buildRig(t, 8, 40, 2)
+	d := NewDispatcher(rig.Prob, 3, 2)
+	task, st := d.Poll(0, false)
+	if st != engine.PollTask {
+		// Process 0 might host nothing under this seed; then wait is fine.
+		t.Skipf("proc 0 has no local task under this seed")
+	}
+	if rig.Prob.CoLocatedMB(0, task) == 0 {
+		t.Fatalf("dispatcher served non-local task %d while local tasks existed", task)
+	}
+}
+
+func TestDispatcherWaitsThenYields(t *testing.T) {
+	// A problem where proc 1's node holds nothing: clustered placement puts
+	// all replicas on nodes 0..2 of 8.
+	rig, err := workload.SingleSpec{
+		Nodes: 8, ChunksPerProc: 2, Seed: 3, Placement: dfs.ClusteredPlacement{},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(rig.Prob, 2, 3)
+	// Process 7 has no local data ever: expect exactly MaxSkips waits, then
+	// a forced task.
+	for i := 0; i < 2; i++ {
+		if _, st := d.Poll(7, false); st != engine.PollWait {
+			t.Fatalf("poll %d: expected wait, got %v", i, st)
+		}
+	}
+	if _, st := d.Poll(7, false); st != engine.PollTask {
+		t.Fatalf("after MaxSkips expected a task, got %v", st)
+	}
+}
+
+func TestDispatcherStalledForcesTask(t *testing.T) {
+	rig, err := workload.SingleSpec{
+		Nodes: 8, ChunksPerProc: 2, Seed: 4, Placement: dfs.ClusteredPlacement{},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(rig.Prob, 100, 4)
+	if _, st := d.Poll(7, true); st != engine.PollTask {
+		t.Fatalf("stalled poll must yield a task, got %v", st)
+	}
+}
+
+func TestDispatcherEndToEndThroughEngine(t *testing.T) {
+	rig := buildRig(t, 8, 40, 5)
+	d := NewDispatcher(rig.Prob, 3, 5)
+	res, err := engine.Run(engine.Options{
+		Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: "delay",
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 40 {
+		t.Fatalf("ran %d tasks, want 40", res.TasksRun)
+	}
+}
+
+func TestDelayBeatsRandomLocality(t *testing.T) {
+	// Delay scheduling's whole point: more local dispatches than a random
+	// master, though generally fewer than Opass's planned matching.
+	run := func(src engine.TaskSource, name string) *engine.Result {
+		rig := buildRig(t, 16, 160, 6)
+		var s engine.TaskSource
+		switch name {
+		case "delay":
+			s = NewDispatcher(rig.Prob, 3, 6)
+		case "random":
+			s = core.NewRandomDispatcher(rig.Prob, 6)
+		case "opass":
+			plan, err := core.SingleData{Seed: 6}.Assign(rig.Prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := core.NewDynamicScheduler(rig.Prob, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s = sched
+		}
+		res, err := engine.Run(engine.Options{
+			Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: name,
+		}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	random := run(nil, "random")
+	delayed := run(nil, "delay")
+	opass := run(nil, "opass")
+	if delayed.LocalFraction() <= random.LocalFraction() {
+		t.Fatalf("delay locality %v <= random %v", delayed.LocalFraction(), random.LocalFraction())
+	}
+	if opass.LocalFraction() < delayed.LocalFraction() {
+		t.Fatalf("opass locality %v below delay %v", opass.LocalFraction(), delayed.LocalFraction())
+	}
+	_ = cluster.Marmot()
+}

@@ -1,0 +1,334 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the cluster-administration operations the paper
+// identifies as the sources of unbalanced data distribution: "node addition
+// or removal could cause an unbalanced redistribution of data" (§IV-B).
+// They let the experiments construct exactly those skewed layouts and then
+// measure how Opass's leftover-assignment repair behaves.
+
+// AddNode registers a fresh (empty) node with the namenode. The node ID must
+// be within the cluster view and not already live. Newly added nodes hold no
+// replicas until the balancer runs — the skew scenario from the paper.
+func (fs *FileSystem) AddNode(node int) error {
+	if node < 0 || node >= fs.view.NumNodes() {
+		return fmt.Errorf("dfs: add node %d: outside cluster view of %d nodes", node, fs.view.NumNodes())
+	}
+	if !fs.dead[node] {
+		return fmt.Errorf("dfs: add node %d: already live", node)
+	}
+	delete(fs.dead, node)
+	return nil
+}
+
+// MarkDead pre-declares a node as not-yet-live so that datasets can be
+// created before the node "joins". It fails if the node already hosts
+// replicas (decommission instead).
+func (fs *FileSystem) MarkDead(node int) error {
+	if node < 0 || node >= fs.view.NumNodes() {
+		return fmt.Errorf("dfs: mark dead %d: outside cluster view", node)
+	}
+	if len(fs.perNode[node]) > 0 {
+		return fmt.Errorf("dfs: mark dead %d: node hosts %d replicas; use Decommission", node, len(fs.perNode[node]))
+	}
+	fs.dead[node] = true
+	return nil
+}
+
+// Decommission removes a node and re-replicates every chunk it hosted onto
+// live nodes that do not already hold a copy, as the HDFS namenode does when
+// a datanode is retired. It returns the number of replicas moved.
+func (fs *FileSystem) Decommission(node int) (moved int, err error) {
+	if node < 0 || node >= fs.view.NumNodes() {
+		return 0, fmt.Errorf("dfs: decommission %d: outside cluster view", node)
+	}
+	if fs.dead[node] {
+		return 0, fmt.Errorf("dfs: decommission %d: node is not live", node)
+	}
+	hosted := append([]ChunkID(nil), fs.perNode[node]...)
+	fs.dead[node] = true
+	delete(fs.perNode, node)
+	live := fs.liveNodes()
+	for _, id := range hosted {
+		c := fs.chunks[int(id)]
+		// Drop the dead replica.
+		out := c.Replicas[:0]
+		for _, r := range c.Replicas {
+			if r != node {
+				out = append(out, r)
+			}
+		}
+		c.Replicas = out
+		// Re-replicate onto a random live node without a copy.
+		candidates := filter(live, func(n int) bool { return !c.HostedOn(n) })
+		if len(candidates) == 0 {
+			// Cluster smaller than the replication factor; accept the
+			// reduced redundancy, as HDFS does.
+			continue
+		}
+		dst := candidates[fs.rng.Intn(len(candidates))]
+		c.Replicas = append(c.Replicas, dst)
+		sort.Ints(c.Replicas)
+		fs.perNode[dst] = append(fs.perNode[dst], id)
+		moved++
+	}
+	return moved, nil
+}
+
+// AddReplica places an extra copy of a chunk on node (increasing its
+// replication), as the namenode does when re-replicating or when a
+// redistribution tool requests a new copy.
+func (fs *FileSystem) AddReplica(id ChunkID, node int) error {
+	c := fs.Chunk(id)
+	if node < 0 || node >= fs.view.NumNodes() || fs.dead[node] {
+		return fmt.Errorf("dfs: add replica of chunk %d: node %d not live", id, node)
+	}
+	if c.HostedOn(node) {
+		return fmt.Errorf("dfs: chunk %d already has a replica on node %d", id, node)
+	}
+	c.Replicas = append(c.Replicas, node)
+	sort.Ints(c.Replicas)
+	fs.perNode[node] = append(fs.perNode[node], id)
+	return nil
+}
+
+// RemoveReplica drops the copy of a chunk on node. It refuses to remove the
+// last replica.
+func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
+	c := fs.Chunk(id)
+	if !c.HostedOn(node) {
+		return fmt.Errorf("dfs: chunk %d has no replica on node %d", id, node)
+	}
+	if len(c.Replicas) <= 1 {
+		return fmt.Errorf("dfs: refusing to remove the last replica of chunk %d", id)
+	}
+	out := c.Replicas[:0]
+	for _, r := range c.Replicas {
+		if r != node {
+			out = append(out, r)
+		}
+	}
+	c.Replicas = out
+	hosted := fs.perNode[node][:0]
+	for _, h := range fs.perNode[node] {
+		if h != id {
+			hosted = append(hosted, h)
+		}
+	}
+	fs.perNode[node] = hosted
+	return nil
+}
+
+// MoveReplica relocates one copy of a chunk from src to dst.
+func (fs *FileSystem) MoveReplica(id ChunkID, src, dst int) error {
+	if err := fs.AddReplica(id, dst); err != nil {
+		return err
+	}
+	if err := fs.RemoveReplica(id, src); err != nil {
+		// Roll back the add so the operation is atomic.
+		if rbErr := fs.RemoveReplica(id, dst); rbErr != nil {
+			return fmt.Errorf("dfs: move replica rollback failed: %v (after %w)", rbErr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Fsck verifies the namenode's internal consistency, like its namesake:
+// every replica list entry has a matching per-node index entry and vice
+// versa, replicas are distinct and live, file sizes equal the sum of their
+// chunks, and every chunk belongs to exactly one file. It returns the list
+// of problems found (empty means healthy). The mutation-heavy operations
+// (balancer, decommission, redistribution) are fuzzed against it.
+func (fs *FileSystem) Fsck() []string {
+	var problems []string
+	// Replica lists vs per-node index.
+	indexed := map[ChunkID]map[int]bool{}
+	for node, ids := range fs.perNode {
+		for _, id := range ids {
+			if indexed[id] == nil {
+				indexed[id] = map[int]bool{}
+			}
+			if indexed[id][node] {
+				problems = append(problems, fmt.Sprintf("node %d indexes chunk %d twice", node, id))
+			}
+			indexed[id][node] = true
+		}
+	}
+	chunkOwner := map[ChunkID]string{}
+	for _, c := range fs.chunks {
+		if c.deleted {
+			if len(c.Replicas) != 0 || len(indexed[c.ID]) != 0 {
+				problems = append(problems, fmt.Sprintf("deleted chunk %d still has replicas", c.ID))
+			}
+			continue
+		}
+		seen := map[int]bool{}
+		for _, r := range c.Replicas {
+			if seen[r] {
+				problems = append(problems, fmt.Sprintf("chunk %d lists node %d twice", c.ID, r))
+			}
+			seen[r] = true
+			if fs.dead[r] {
+				problems = append(problems, fmt.Sprintf("chunk %d has a replica on dead node %d", c.ID, r))
+			}
+			if !indexed[c.ID][r] {
+				problems = append(problems, fmt.Sprintf("chunk %d replica on node %d missing from index", c.ID, r))
+			}
+		}
+		if len(indexed[c.ID]) != len(c.Replicas) {
+			problems = append(problems, fmt.Sprintf("chunk %d indexed on %d nodes but lists %d replicas",
+				c.ID, len(indexed[c.ID]), len(c.Replicas)))
+		}
+		chunkOwner[c.ID] = c.File
+	}
+	// Files vs chunks.
+	for _, name := range fs.order {
+		f := fs.files[name]
+		var sum float64
+		for _, id := range f.Chunks {
+			c := fs.Chunk(id)
+			if c.File != name {
+				problems = append(problems, fmt.Sprintf("file %q claims chunk %d owned by %q", name, id, c.File))
+			}
+			sum += c.SizeMB
+			delete(chunkOwner, id)
+		}
+		if diff := sum - f.SizeMB; diff > 1e-6 || diff < -1e-6 {
+			problems = append(problems, fmt.Sprintf("file %q size %v != chunk sum %v", name, f.SizeMB, sum))
+		}
+	}
+	for id, owner := range chunkOwner {
+		problems = append(problems, fmt.Sprintf("orphan chunk %d (file %q not in namespace)", id, owner))
+	}
+	return problems
+}
+
+// BalanceReport summarizes per-node storage utilization.
+type BalanceReport struct {
+	MeanMB float64
+	MaxMB  float64
+	MinMB  float64
+	// Overloaded and Underloaded list nodes beyond the threshold around the
+	// mean used by the balancer.
+	Overloaded  []int
+	Underloaded []int
+}
+
+// Utilization computes a balance report with the given relative threshold
+// (e.g. 0.1 flags nodes more than 10% above/below the mean).
+func (fs *FileSystem) Utilization(threshold float64) BalanceReport {
+	live := fs.liveNodes()
+	rep := BalanceReport{MinMB: -1}
+	var total float64
+	for _, n := range live {
+		s := fs.StoredMB(n)
+		total += s
+		if s > rep.MaxMB {
+			rep.MaxMB = s
+		}
+		if rep.MinMB < 0 || s < rep.MinMB {
+			rep.MinMB = s
+		}
+	}
+	if len(live) == 0 {
+		return rep
+	}
+	rep.MeanMB = total / float64(len(live))
+	for _, n := range live {
+		s := fs.StoredMB(n)
+		switch {
+		case s > rep.MeanMB*(1+threshold):
+			rep.Overloaded = append(rep.Overloaded, n)
+		case s < rep.MeanMB*(1-threshold):
+			rep.Underloaded = append(rep.Underloaded, n)
+		}
+	}
+	return rep
+}
+
+// Balance runs an HDFS-balancer-like pass: repeatedly move one replica from
+// the most loaded node to the least loaded node that does not already host
+// a copy, until every node is within threshold of the mean or no legal move
+// exists. It returns the number of replicas moved.
+func (fs *FileSystem) Balance(threshold float64) int {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	moved := 0
+	for iter := 0; iter < 10*len(fs.chunks)+10; iter++ {
+		rep := fs.Utilization(threshold)
+		if len(rep.Overloaded) == 0 || len(rep.Underloaded) == 0 {
+			break
+		}
+		src := fs.mostLoaded(rep.Overloaded)
+		dst := fs.leastLoaded(rep.Underloaded)
+		if !fs.moveOneReplica(src, dst) {
+			break
+		}
+		moved++
+	}
+	return moved
+}
+
+func (fs *FileSystem) mostLoaded(nodes []int) int {
+	best, bestMB := nodes[0], -1.0
+	for _, n := range nodes {
+		if s := fs.StoredMB(n); s > bestMB {
+			best, bestMB = n, s
+		}
+	}
+	return best
+}
+
+func (fs *FileSystem) leastLoaded(nodes []int) int {
+	best := nodes[0]
+	bestMB := fs.StoredMB(best)
+	for _, n := range nodes[1:] {
+		if s := fs.StoredMB(n); s < bestMB {
+			best, bestMB = n, s
+		}
+	}
+	return best
+}
+
+// moveOneReplica relocates one replica from src to dst; it prefers the
+// largest movable chunk so the balancer converges quickly.
+func (fs *FileSystem) moveOneReplica(src, dst int) bool {
+	var pick ChunkID = -1
+	var pickSize float64
+	for _, id := range fs.perNode[src] {
+		c := fs.chunks[int(id)]
+		if c.HostedOn(dst) {
+			continue
+		}
+		if c.SizeMB > pickSize {
+			pick, pickSize = id, c.SizeMB
+		}
+	}
+	if pick < 0 {
+		return false
+	}
+	c := fs.chunks[int(pick)]
+	out := c.Replicas[:0]
+	for _, r := range c.Replicas {
+		if r != src {
+			out = append(out, r)
+		}
+	}
+	c.Replicas = append(out, dst)
+	sort.Ints(c.Replicas)
+	hosted := fs.perNode[src][:0]
+	for _, id := range fs.perNode[src] {
+		if id != pick {
+			hosted = append(hosted, id)
+		}
+	}
+	fs.perNode[src] = hosted
+	fs.perNode[dst] = append(fs.perNode[dst], pick)
+	return true
+}

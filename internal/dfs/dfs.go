@@ -1,0 +1,487 @@
+// Package dfs implements an in-process distributed file system with the
+// metadata semantics of HDFS, which is the substrate the Opass paper runs
+// on. It models the pieces Opass interacts with:
+//
+//   - a namenode-style namespace mapping files to fixed-size chunks;
+//   - r-way replication with pluggable placement policies (random by
+//     default, as HDFS behaves from the perspective of a non-writing
+//     client, plus rack-aware and pathological policies for experiments);
+//   - the GetFileBlockLocations metadata query Opass uses to build its
+//     bipartite locality graph;
+//   - the HDFS client read policy: serve from the local disk when a replica
+//     is co-located with the reader, otherwise from a uniformly random
+//     replica holder;
+//   - node addition, decommissioning with re-replication, and a balancer —
+//     the events the paper cites as sources of placement skew.
+//
+// Data contents are never materialized; chunks carry sizes only, which is
+// all the scheduling and simulation layers need.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ChunkID identifies a chunk within a FileSystem.
+type ChunkID int
+
+// Chunk is one replicated block of a file.
+type Chunk struct {
+	ID       ChunkID
+	File     string
+	Index    int     // position within the file
+	SizeMB   float64 // chunk payload size
+	Replicas []int   // distinct node IDs hosting a copy
+
+	// data holds the chunk payload for files written through a FileWriter;
+	// nil for size-only files, whose reads serve a synthetic pattern.
+	data []byte
+	// deleted marks a tombstoned chunk (its file was removed).
+	deleted bool
+}
+
+// HostedOn reports whether the chunk has a replica on node.
+func (c *Chunk) HostedOn(node int) bool {
+	for _, r := range c.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// File is a named sequence of chunks.
+type File struct {
+	Name   string
+	SizeMB float64
+	Chunks []ChunkID
+}
+
+// Config carries file system parameters; zero fields take HDFS defaults.
+type Config struct {
+	ChunkSizeMB float64   // default 64, as in the paper
+	Replication int       // default 3
+	Placement   Placement // default RandomPlacement
+	Seed        int64     // seed for placement and replica-pick randomness
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSizeMB == 0 {
+		c.ChunkSizeMB = 64
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	if c.Placement == nil {
+		c.Placement = RandomPlacement{}
+	}
+	return c
+}
+
+// ClusterView is the slice of cluster topology the file system needs:
+// enough to enumerate live nodes and to group them into racks.
+type ClusterView interface {
+	NumNodes() int
+	RackOf(node int) int
+}
+
+// FileSystem is the namenode state plus per-node chunk indexes.
+type FileSystem struct {
+	cfg     Config
+	view    ClusterView
+	rng     *rand.Rand
+	files   map[string]*File
+	order   []string // deterministic file iteration order
+	chunks  []*Chunk
+	perNode map[int][]ChunkID // node -> hosted chunks
+	dead    map[int]bool      // decommissioned nodes
+}
+
+// New creates an empty FileSystem over the given cluster view.
+func New(view ClusterView, cfg Config) *FileSystem {
+	cfg = cfg.withDefaults()
+	if cfg.Replication < 1 {
+		panic(fmt.Sprintf("dfs: replication %d must be >= 1", cfg.Replication))
+	}
+	if cfg.ChunkSizeMB <= 0 {
+		panic(fmt.Sprintf("dfs: chunk size %v must be positive", cfg.ChunkSizeMB))
+	}
+	return &FileSystem{
+		cfg:     cfg,
+		view:    view,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		files:   make(map[string]*File),
+		perNode: make(map[int][]ChunkID),
+		dead:    make(map[int]bool),
+	}
+}
+
+// Config returns the (defaulted) configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Errors returned by namespace operations.
+var (
+	ErrExists   = errors.New("dfs: file already exists")
+	ErrNotFound = errors.New("dfs: file not found")
+)
+
+// liveNodes lists nodes that can accept replicas, in ascending order.
+func (fs *FileSystem) liveNodes() []int {
+	nodes := make([]int, 0, fs.view.NumNodes())
+	for i := 0; i < fs.view.NumNodes(); i++ {
+		if !fs.dead[i] {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}
+
+// NumLiveNodes reports how many nodes currently host replicas.
+func (fs *FileSystem) NumLiveNodes() int { return len(fs.liveNodes()) }
+
+// Create writes a file of sizeMB, splitting it into chunks of the
+// configured chunk size (the final chunk may be smaller) and placing each
+// chunk's replicas with the placement policy.
+func (fs *FileSystem) Create(name string, sizeMB float64) (*File, error) {
+	if sizeMB <= 0 {
+		return nil, fmt.Errorf("dfs: create %q: size %v must be positive", name, sizeMB)
+	}
+	var sizes []float64
+	for left := sizeMB; left > 1e-9; left -= fs.cfg.ChunkSizeMB {
+		s := fs.cfg.ChunkSizeMB
+		if left < s {
+			s = left
+		}
+		sizes = append(sizes, s)
+	}
+	return fs.CreateChunks(name, sizes)
+}
+
+// CreateChunks writes a file from explicit chunk sizes. It is the primitive
+// behind Create and is used directly by workloads whose logical pieces do
+// not align with the chunk size (e.g. the 56 MB ParaView blocks).
+func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if len(sizesMB) == 0 {
+		return nil, fmt.Errorf("dfs: create %q: no chunks", name)
+	}
+	live := fs.liveNodes()
+	r := fs.cfg.Replication
+	if r > len(live) {
+		return nil, fmt.Errorf("dfs: create %q: replication %d exceeds %d live nodes", name, r, len(live))
+	}
+	f := &File{Name: name}
+	for i, s := range sizesMB {
+		if s <= 0 {
+			return nil, fmt.Errorf("dfs: create %q: chunk %d size %v must be positive", name, i, s)
+		}
+		c := &Chunk{
+			ID:     ChunkID(len(fs.chunks)),
+			File:   name,
+			Index:  i,
+			SizeMB: s,
+		}
+		c.Replicas = fs.cfg.Placement.Place(fs.rng, fs.view, live, r, c)
+		if err := validateReplicas(c.Replicas, live, r); err != nil {
+			return nil, fmt.Errorf("dfs: create %q chunk %d: %w", name, i, err)
+		}
+		sort.Ints(c.Replicas)
+		fs.chunks = append(fs.chunks, c)
+		f.Chunks = append(f.Chunks, c.ID)
+		f.SizeMB += s
+		for _, node := range c.Replicas {
+			fs.perNode[node] = append(fs.perNode[node], c.ID)
+		}
+	}
+	fs.files[name] = f
+	fs.order = append(fs.order, name)
+	return f, nil
+}
+
+func validateReplicas(replicas, live []int, r int) error {
+	if len(replicas) != r {
+		return fmt.Errorf("placement returned %d replicas, want %d", len(replicas), r)
+	}
+	seen := make(map[int]bool, r)
+	liveSet := make(map[int]bool, len(live))
+	for _, n := range live {
+		liveSet[n] = true
+	}
+	for _, n := range replicas {
+		if seen[n] {
+			return fmt.Errorf("duplicate replica node %d", n)
+		}
+		if !liveSet[n] {
+			return fmt.Errorf("replica node %d is not live", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Delete removes a file from the namespace and releases its replicas from
+// every node, like hdfs dfs -rm. Its chunk IDs become tombstones: Chunk()
+// panics on them, so stale references fail fast rather than silently
+// reading freed data.
+func (fs *FileSystem) Delete(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	for _, id := range f.Chunks {
+		c := fs.chunks[int(id)]
+		for _, node := range c.Replicas {
+			hosted := fs.perNode[node][:0]
+			for _, h := range fs.perNode[node] {
+				if h != id {
+					hosted = append(hosted, h)
+				}
+			}
+			fs.perNode[node] = hosted
+		}
+		c.Replicas = nil
+		c.data = nil
+		c.deleted = true
+	}
+	delete(fs.files, name)
+	for i, n := range fs.order {
+		if n == name {
+			fs.order = append(fs.order[:i], fs.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Rename moves a file to a new name (hdfs dfs -mv). Chunk IDs and replica
+// placement are untouched; only the namespace entry changes.
+func (fs *FileSystem) Rename(oldName, newName string) error {
+	f, ok := fs.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	if oldName == newName {
+		return nil
+	}
+	if _, ok := fs.files[newName]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	delete(fs.files, oldName)
+	f.Name = newName
+	fs.files[newName] = f
+	for _, id := range f.Chunks {
+		fs.chunks[int(id)].File = newName
+	}
+	for i, n := range fs.order {
+		if n == oldName {
+			fs.order[i] = newName
+			break
+		}
+	}
+	return nil
+}
+
+// Stat returns the file metadata for name.
+func (fs *FileSystem) Stat(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// Files lists all file names in creation order.
+func (fs *FileSystem) Files() []string {
+	return append([]string(nil), fs.order...)
+}
+
+// Chunk returns the chunk with the given ID. It panics on IDs of deleted
+// files, so stale references surface immediately.
+func (fs *FileSystem) Chunk(id ChunkID) *Chunk {
+	if int(id) < 0 || int(id) >= len(fs.chunks) {
+		panic(fmt.Sprintf("dfs: chunk %d out of range", id))
+	}
+	c := fs.chunks[int(id)]
+	if c.deleted {
+		panic(fmt.Sprintf("dfs: chunk %d belongs to the deleted file %q", id, c.File))
+	}
+	return c
+}
+
+// NumChunks reports the total chunk count across all files.
+func (fs *FileSystem) NumChunks() int { return len(fs.chunks) }
+
+// BlockLocation describes one chunk's placement, mirroring HDFS's
+// getFileBlockLocations response.
+type BlockLocation struct {
+	Chunk    ChunkID
+	SizeMB   float64
+	Replicas []int
+}
+
+// BlockLocations returns the placement of every chunk of a file — the
+// metadata query Opass issues to build its locality graph.
+func (fs *FileSystem) BlockLocations(name string) ([]BlockLocation, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	locs := make([]BlockLocation, len(f.Chunks))
+	for i, id := range f.Chunks {
+		c := fs.chunks[int(id)]
+		locs[i] = BlockLocation{
+			Chunk:    id,
+			SizeMB:   c.SizeMB,
+			Replicas: append([]int(nil), c.Replicas...),
+		}
+	}
+	return locs, nil
+}
+
+// BlockLocationsFor returns the placement of every chunk of a file with
+// each chunk's replicas sorted by network distance from the reader — node,
+// then rack, then off-rack — mirroring how the HDFS namenode orders
+// getBlockLocations results for a client host. Ties within a distance tier
+// keep ascending node order.
+func (fs *FileSystem) BlockLocationsFor(name string, reader int) ([]BlockLocation, error) {
+	locs, err := fs.BlockLocations(name)
+	if err != nil {
+		return nil, err
+	}
+	tier := func(node int) int {
+		switch {
+		case node == reader:
+			return 0
+		case reader >= 0 && reader < fs.view.NumNodes() &&
+			fs.view.RackOf(node) == fs.view.RackOf(reader):
+			return 1
+		default:
+			return 2
+		}
+	}
+	for i := range locs {
+		reps := locs[i].Replicas
+		sort.Slice(reps, func(a, b int) bool {
+			ta, tb := tier(reps[a]), tier(reps[b])
+			if ta != tb {
+				return ta < tb
+			}
+			return reps[a] < reps[b]
+		})
+	}
+	return locs, nil
+}
+
+// HostedBy lists the chunks with a replica on node, in ID order.
+func (fs *FileSystem) HostedBy(node int) []ChunkID {
+	ids := append([]ChunkID(nil), fs.perNode[node]...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// StoredMB reports the bytes (in MB) of replicas stored on node.
+func (fs *FileSystem) StoredMB(node int) float64 {
+	var s float64
+	for _, id := range fs.perNode[node] {
+		s += fs.chunks[int(id)].SizeMB
+	}
+	return s
+}
+
+// PickReplica applies the HDFS client read policy for a reader on node
+// reader, in network-distance order like the namenode's block-location
+// sorting: a co-located replica first, then a replica in the reader's rack,
+// then any replica. Among equally-distant candidates the choice is drawn
+// from a hash of (seed, chunk, reader) rather than a shared random stream,
+// so it is uniform across chunk/reader pairs — the 1/r assumption of
+// §III-B — yet independent of call order, which keeps concurrent
+// simulations (the MPI runtime's goroutine ranks) bit-for-bit reproducible.
+// (On single-rack topologies the rack tier is the whole replica set, so the
+// behavior matches the paper's single-switch testbed exactly.)
+func (fs *FileSystem) PickReplica(id ChunkID, reader int) (node int, local bool) {
+	c := fs.Chunk(id)
+	if len(c.Replicas) == 0 {
+		panic(fmt.Sprintf("dfs: chunk %d has no replicas", id))
+	}
+	for _, r := range c.Replicas {
+		if r == reader {
+			return r, true
+		}
+	}
+	candidates := c.Replicas
+	if reader >= 0 && reader < fs.view.NumNodes() {
+		rack := fs.view.RackOf(reader)
+		var sameRack []int
+		for _, r := range c.Replicas {
+			if fs.view.RackOf(r) == rack {
+				sameRack = append(sameRack, r)
+			}
+		}
+		if len(sameRack) > 0 {
+			candidates = sameRack
+		}
+	}
+	h := splitmix(uint64(fs.cfg.Seed)<<32 ^ uint64(id)<<16 ^ uint64(uint32(reader)))
+	return candidates[int(h%uint64(len(candidates)))], false
+}
+
+// ErrNoReplica reports that every replica of a chunk is unavailable.
+var ErrNoReplica = errors.New("dfs: no live replica")
+
+// PickReplicaAvoiding is PickReplica restricted to replica holders for
+// which avoid returns false — the read-failover path a client takes when a
+// DataNode stops responding. It applies the same network-distance order
+// (node, rack, anywhere). The salt keeps successive retries of the same
+// (chunk, reader) pair from re-picking deterministically identical nodes.
+func (fs *FileSystem) PickReplicaAvoiding(id ChunkID, reader int, salt uint64, avoid func(node int) bool) (node int, local bool, err error) {
+	c := fs.Chunk(id)
+	candidates := make([]int, 0, len(c.Replicas))
+	for _, r := range c.Replicas {
+		if avoid == nil || !avoid(r) {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1, false, fmt.Errorf("%w: chunk %d", ErrNoReplica, id)
+	}
+	for _, r := range candidates {
+		if r == reader {
+			return r, true, nil
+		}
+	}
+	if reader >= 0 && reader < fs.view.NumNodes() {
+		rack := fs.view.RackOf(reader)
+		var sameRack []int
+		for _, r := range candidates {
+			if fs.view.RackOf(r) == rack {
+				sameRack = append(sameRack, r)
+			}
+		}
+		if len(sameRack) > 0 {
+			candidates = sameRack
+		}
+	}
+	h := splitmix(uint64(fs.cfg.Seed)<<32 ^ uint64(id)<<16 ^ uint64(uint32(reader)) ^ salt<<48)
+	return candidates[int(h%uint64(len(candidates)))], false, nil
+}
+
+// splitmix is the splitmix64 finalizer, a cheap high-quality integer hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Rand exposes the file system's deterministic RNG so that co-simulated
+// components (e.g. the execution engine's random fallback decisions) share
+// one seeded stream.
+func (fs *FileSystem) Rand() *rand.Rand { return fs.rng }

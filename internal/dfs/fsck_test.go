@@ -1,0 +1,249 @@
+package dfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFsckCleanOnFreshFS(t *testing.T) {
+	fs := newFS(16, 61)
+	fs.Create("/a", 64*40)
+	fs.Create("/b", 64*7)
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck on fresh fs: %v", problems)
+	}
+}
+
+// TestPropertyFsckSurvivesMutations runs random sequences of the
+// mutation-heavy admin operations and checks the namenode never becomes
+// inconsistent.
+func TestPropertyFsckSurvivesMutations(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 8 + rng.Intn(8)
+		fs := newFS(nodes, seed)
+		if _, err := fs.Create("/data", float64(20+rng.Intn(30))*64); err != nil {
+			t.Error(err)
+			return false
+		}
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				fs.Balance(0.05 + rng.Float64()*0.3)
+			case 1:
+				// Decommission a random live node (if enough remain).
+				if fs.NumLiveNodes() > 4 {
+					for n := 0; n < nodes; n++ {
+						v := (n + rng.Intn(nodes)) % nodes
+						if len(fs.HostedBy(v)) > 0 {
+							fs.Decommission(v)
+							break
+						}
+					}
+				}
+			case 2:
+				// Random replica move.
+				id := ChunkID(rng.Intn(fs.NumChunks()))
+				c := fs.Chunk(id)
+				src := c.Replicas[rng.Intn(len(c.Replicas))]
+				dst := rng.Intn(nodes)
+				_ = fs.MoveReplica(id, src, dst) // may legitimately fail
+			case 3:
+				id := ChunkID(rng.Intn(fs.NumChunks()))
+				_ = fs.AddReplica(id, rng.Intn(nodes))
+			case 4:
+				id := ChunkID(rng.Intn(fs.NumChunks()))
+				c := fs.Chunk(id)
+				_ = fs.RemoveReplica(id, c.Replicas[rng.Intn(len(c.Replicas))])
+			}
+			if problems := fs.Fsck(); len(problems) != 0 {
+				t.Errorf("seed %d step %d: fsck found %v", seed, step, problems)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	fs := newFS(8, 62)
+	f, _ := fs.Create("/a", 64*4)
+	// Corrupt deliberately: desync a replica list from the per-node index by
+	// mutating the chunk directly.
+	c := fs.Chunk(f.Chunks[0])
+	c.Replicas = append(c.Replicas, 7)
+	if len(fs.Fsck()) == 0 {
+		t.Fatal("fsck missed a replica/index desync")
+	}
+}
+
+func TestDeleteRemovesFileAndReplicas(t *testing.T) {
+	fs := newFS(8, 63)
+	f, _ := fs.Create("/doomed", 64*5)
+	fs.Create("/keeper", 64*3)
+	ids := append([]ChunkID(nil), f.Chunks...)
+	if err := fs.Delete("/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/doomed"); err == nil {
+		t.Fatal("stat of deleted file must fail")
+	}
+	for n := 0; n < 8; n++ {
+		for _, id := range fs.HostedBy(n) {
+			for _, gone := range ids {
+				if id == gone {
+					t.Fatalf("node %d still hosts deleted chunk %d", n, id)
+				}
+			}
+		}
+	}
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck after delete: %v", problems)
+	}
+	// Files() no longer lists it; the keeper survives.
+	files := fs.Files()
+	if len(files) != 1 || files[0] != "/keeper" {
+		t.Fatalf("files = %v", files)
+	}
+	// Tombstoned chunk access panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on deleted chunk access")
+		}
+	}()
+	fs.Chunk(ids[0])
+}
+
+func TestDeleteMissingFile(t *testing.T) {
+	fs := newFS(4, 64)
+	if err := fs.Delete("/nope"); err == nil {
+		t.Fatal("deleting a missing file must fail")
+	}
+}
+
+func TestDeleteThenRecreate(t *testing.T) {
+	fs := newFS(8, 65)
+	fs.Create("/a", 64*2)
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/a", 64*4); err != nil {
+		t.Fatalf("recreate after delete: %v", err)
+	}
+	f, _ := fs.Stat("/a")
+	if len(f.Chunks) != 4 {
+		t.Fatalf("recreated file has %d chunks", len(f.Chunks))
+	}
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck: %v", problems)
+	}
+}
+
+func TestFixedPlacement(t *testing.T) {
+	rows := [][]int{{0, 1, 2}, {3, 4, 5}, {1, 3, 7}}
+	fs := New(testView(8), Config{Placement: FixedPlacement{Replicas: rows}})
+	f, err := fs.Create("/a", 64*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range f.Chunks {
+		c := fs.Chunk(id)
+		want := append([]int(nil), rows[i]...)
+		if len(c.Replicas) != 3 {
+			t.Fatalf("chunk %d replicas %v", i, c.Replicas)
+		}
+		for _, w := range want {
+			if !c.HostedOn(w) {
+				t.Fatalf("chunk %d missing replica on %d", i, w)
+			}
+		}
+	}
+	// More chunks than rows panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on missing row")
+		}
+	}()
+	fs.Create("/overflow", 64)
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS(8, 66)
+	f, _ := fs.Create("/old", 64*3)
+	ids := append([]ChunkID(nil), f.Chunks...)
+	if err := fs.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/old"); err == nil {
+		t.Fatal("old name still resolves")
+	}
+	got, err := fs.Stat("/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "/new" || len(got.Chunks) != 3 {
+		t.Fatalf("renamed file: %+v", got)
+	}
+	for _, id := range ids {
+		if fs.Chunk(id).File != "/new" {
+			t.Fatalf("chunk %d still claims old file", id)
+		}
+	}
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck after rename: %v", problems)
+	}
+	// Error paths.
+	if err := fs.Rename("/missing", "/x"); err == nil {
+		t.Fatal("renaming a missing file must fail")
+	}
+	fs.Create("/taken", 64)
+	if err := fs.Rename("/new", "/taken"); err == nil {
+		t.Fatal("renaming onto an existing file must fail")
+	}
+	if err := fs.Rename("/new", "/new"); err != nil {
+		t.Fatal("self-rename should be a no-op")
+	}
+}
+
+func TestBlockLocationsForDistanceOrder(t *testing.T) {
+	v := rackedView(8, 2) // racks: node%2
+	fs := New(v, Config{Seed: 67, Placement: FixedPlacement{Replicas: [][]int{
+		{1, 4, 6}, // reader 6: 6 first (node), then 4 (rack 0 = 6%2... ) — verify below
+		{3, 5, 7},
+	}}})
+	if _, err := fs.CreateChunks("/f", []float64{64, 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Reader on node 6 (rack 0): chunk 0 replicas {1,4,6}: node 6 first,
+	// then node 4 (rack 0), then node 1 (rack 1).
+	locs, err := fs.BlockLocationsFor("/f", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{6, 4, 1}
+	for i, n := range locs[0].Replicas {
+		if n != want[i] {
+			t.Fatalf("chunk 0 order %v, want %v", locs[0].Replicas, want)
+		}
+	}
+	// Chunk 1 {3,5,7} for reader 6: no node match, no rack-0 replica (all
+	// odd = rack 1): plain ascending.
+	want1 := []int{3, 5, 7}
+	for i, n := range locs[1].Replicas {
+		if n != want1[i] {
+			t.Fatalf("chunk 1 order %v, want %v", locs[1].Replicas, want1)
+		}
+	}
+	// External reader: ascending order everywhere.
+	ext, _ := fs.BlockLocationsFor("/f", -1)
+	if ext[0].Replicas[0] != 1 {
+		t.Fatalf("external order %v", ext[0].Replicas)
+	}
+	if _, err := fs.BlockLocationsFor("/missing", 0); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

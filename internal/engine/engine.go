@@ -1,0 +1,528 @@
+// Package engine executes a task assignment over the simulated cluster: it
+// turns every data input of every task into a fluid flow on the cluster's
+// disks and NICs, honoring the HDFS read policy (local replica preferred,
+// random replica otherwise), and drives per-process state machines in
+// virtual time — each MPI-style process reads its inputs sequentially,
+// optionally computes, then requests its next task.
+//
+// Both execution models of the paper are supported through the TaskSource
+// abstraction: static assignment (each process walks its own precomputed
+// list, as in the ParaView experiments) and dynamic master/worker
+// dispatching (an idle process asks the master for one task at a time, as
+// in mpiBLAST). The engine records a ReadRecord per chunk read — the exact
+// data behind Figures 7–12 — and per-node served-data counters, the
+// monitor the paper describes in §V-A1.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/simnet"
+)
+
+// TaskSource feeds tasks to idle processes. Implementations include static
+// per-process lists (ListSource), the Opass dynamic scheduler
+// (core.DynamicScheduler) and the random master baseline
+// (core.RandomDispatcher).
+type TaskSource interface {
+	// Next returns the next task for the idle process proc, or ok=false
+	// when the process should terminate.
+	Next(proc int) (task int, ok bool)
+}
+
+// PollState is a PollingSource's answer to an idle process.
+type PollState int
+
+// PollingSource answers.
+const (
+	// PollTask means a task was returned and should start now.
+	PollTask PollState = iota
+	// PollWait means no task is offered yet; the engine re-polls the
+	// process after the next completion event (virtual time advances in
+	// between — the "wait a small amount of time" of delay scheduling).
+	PollWait
+	// PollDone means the process should terminate.
+	PollDone
+)
+
+// PollingSource is a TaskSource that may ask an idle process to wait —
+// the seam needed by delay scheduling (Zaharia et al., EuroSys'10), which
+// holds a worker briefly in the hope that a local task frees up. stalled
+// is true when no work is in flight anywhere, in which case the source
+// must not answer PollWait again (nothing would ever wake the process).
+type PollingSource interface {
+	Poll(proc int, stalled bool) (task int, state PollState)
+}
+
+// pollAdapter lifts a plain TaskSource into a PollingSource.
+type pollAdapter struct{ src TaskSource }
+
+func (a pollAdapter) Poll(proc int, _ bool) (int, PollState) {
+	task, ok := a.src.Next(proc)
+	if !ok {
+		return 0, PollDone
+	}
+	return task, PollTask
+}
+
+// ListSource serves each process its own pre-assigned list in order — the
+// static SPMD execution model.
+type ListSource struct {
+	lists [][]int
+	pos   []int
+}
+
+// NewListSource builds a static source from per-process task lists.
+func NewListSource(lists [][]int) *ListSource {
+	cp := make([][]int, len(lists))
+	for i := range lists {
+		cp[i] = append([]int(nil), lists[i]...)
+	}
+	return &ListSource{lists: cp, pos: make([]int, len(lists))}
+}
+
+// Next implements TaskSource.
+func (s *ListSource) Next(proc int) (int, bool) {
+	if proc < 0 || proc >= len(s.lists) {
+		panic(fmt.Sprintf("engine: unknown process %d", proc))
+	}
+	if s.pos[proc] >= len(s.lists[proc]) {
+		return 0, false
+	}
+	t := s.lists[proc][s.pos[proc]]
+	s.pos[proc]++
+	return t, true
+}
+
+// Options configures a run.
+type Options struct {
+	Topo    *cluster.Topology
+	FS      *dfs.FileSystem
+	Problem *core.Problem
+	// ComputeTime returns the post-read compute seconds for a task; nil
+	// means pure I/O (the microbenchmarks). Heterogeneous workloads
+	// (mpiBLAST) supply per-task irregular times here.
+	ComputeTime func(task int) float64
+	// ComputeFactor scales a process's compute times (nil means 1.0 for
+	// every process) — the §IV-D heterogeneous environment, where the same
+	// task runs slower on some nodes.
+	ComputeFactor func(proc int) float64
+	// Failures schedules DataNode crashes: At seconds into the run the
+	// node's storage service stops serving. In-flight reads it was serving
+	// are torn down and retried from another replica (HDFS read failover),
+	// and subsequent replica picks avoid it. Compute on the node continues
+	// — the crash models the DataNode process, not the whole machine.
+	Failures []NodeFailure
+	// Strategy labels the run in reports.
+	Strategy string
+}
+
+// NodeFailure is one scheduled DataNode crash.
+type NodeFailure struct {
+	Node int
+	At   float64 // seconds after run start
+}
+
+func (o *Options) validate() error {
+	if o.Topo == nil || o.FS == nil || o.Problem == nil {
+		return fmt.Errorf("engine: options require Topo, FS and Problem")
+	}
+	if err := o.Problem.Validate(); err != nil {
+		return err
+	}
+	for _, node := range o.Problem.ProcNode {
+		if node < 0 || node >= o.Topo.NumNodes() {
+			return fmt.Errorf("engine: process on node %d outside %d-node topology", node, o.Topo.NumNodes())
+		}
+	}
+	return nil
+}
+
+// ReadRecord describes one chunk read: who read what from where and how
+// long it took.
+type ReadRecord struct {
+	Proc    int
+	Task    int
+	Chunk   dfs.ChunkID
+	SrcNode int
+	DstNode int
+	Local   bool
+	SizeMB  float64
+	Start   float64
+	End     float64
+}
+
+// Duration is the request's I/O time (including startup latency).
+func (r ReadRecord) Duration() float64 { return r.End - r.Start }
+
+// Result aggregates one run.
+type Result struct {
+	Strategy string
+	// Records lists every chunk read in completion order.
+	Records []ReadRecord
+	// Makespan is the virtual time from run start to the last process
+	// finishing — the job time under barrier synchronization.
+	Makespan float64
+	// ServedMB[node] is the data served by each storage node (the paper's
+	// per-node monitor).
+	ServedMB []float64
+	// ProcFinish[proc] is each process's completion time relative to start.
+	ProcFinish []float64
+	// TasksRun counts executed tasks.
+	TasksRun int
+	// Retries counts reads torn down by a DataNode failure and reissued
+	// against another replica.
+	Retries int
+	// PeakConcurrentReads[node] is the largest number of reads the node's
+	// disk served simultaneously — the §III-B contention depth ("the read
+	// requests from different processes will compete for the hard disk
+	// head").
+	PeakConcurrentReads []int
+	// DiskUtilization[node] is the fraction of the node's disk bandwidth
+	// used over the run — the "parallel use of storage nodes/disks" the
+	// paper says imbalance wastes. A perfectly balanced all-local job
+	// drives every disk near 1.0; a skewed job leaves most disks idle.
+	DiskUtilization []float64
+	// FailedNodes lists nodes whose storage service crashed during the run.
+	FailedNodes []int
+}
+
+// IOTimes extracts per-read durations in completion order.
+func (r *Result) IOTimes() []float64 {
+	out := make([]float64, len(r.Records))
+	for i, rec := range r.Records {
+		out[i] = rec.Duration()
+	}
+	return out
+}
+
+// LocalFraction is the fraction of megabytes read locally.
+func (r *Result) LocalFraction() float64 {
+	var local, total float64
+	for _, rec := range r.Records {
+		total += rec.SizeMB
+		if rec.Local {
+			local += rec.SizeMB
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return local / total
+}
+
+// LocalReads counts records served from the reader's own disk.
+func (r *Result) LocalReads() int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Local {
+			n++
+		}
+	}
+	return n
+}
+
+// pendingKind distinguishes the flow types the engine launches.
+type pendingKind int
+
+const (
+	kindRead pendingKind = iota
+	kindCompute
+	kindFailure
+)
+
+type pending struct {
+	kind pendingKind
+	proc int        // kindRead / kindCompute
+	node int        // kindFailure: the crashing node
+	rec  ReadRecord // valid for kindRead
+}
+
+// abortRun carries a fatal simulation error (e.g. data loss) out of the
+// completion callbacks.
+type abortRun struct{ err error }
+
+// Run executes tasks from src until every process has drained, returning
+// the trace. The topology's network must be idle; the run may start at a
+// non-zero virtual time (sequential rounds share one clock) and all times
+// in the Result are relative to the run's start.
+func Run(opts Options, src TaskSource) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	net := opts.Topo.Net()
+	if net.Active() != 0 {
+		return nil, fmt.Errorf("engine: network busy with %d flows at run start", net.Active())
+	}
+	start := net.Now()
+	p := opts.Problem
+	numProcs := p.NumProcs()
+
+	res := &Result{
+		Strategy:            opts.Strategy,
+		ServedMB:            make([]float64, opts.Topo.NumNodes()),
+		ProcFinish:          make([]float64, numProcs),
+		PeakConcurrentReads: make([]int, opts.Topo.NumNodes()),
+	}
+	curReads := make([]int, opts.Topo.NumNodes())
+	diskWork0 := make([]float64, opts.Topo.NumNodes())
+	for n := 0; n < opts.Topo.NumNodes(); n++ {
+		diskWork0[n] = net.WorkMB(opts.Topo.DiskResource(n))
+	}
+
+	poller, isPolling := src.(PollingSource)
+	if !isPolling {
+		poller = pollAdapter{src}
+	}
+
+	type state struct {
+		task  int
+		input int
+	}
+	states := make([]state, numProcs)
+	inflight := make(map[simnet.FlowID]pending, numProcs)
+	var waiting []int
+	failed := make(map[int]bool)
+
+	var startTask, startInput, finishProc func(proc int)
+	var retryWaiting func()
+
+	avoidFailed := func(node int) bool { return failed[node] }
+
+	startInput = func(proc int) {
+		st := &states[proc]
+		task := &p.Tasks[st.task]
+		// Rotate the input order by task ID: concurrent tasks then touch
+		// the datasets in staggered order instead of all processes slamming
+		// dataset A, then B, then C in lockstep — parallel programs issue
+		// their requests independently, and the lockstep convoy is an
+		// artifact of a fixed input order.
+		in := task.Inputs[(st.input+st.task)%len(task.Inputs)]
+		node := p.ProcNode[proc]
+		srcNode, local, err := opts.FS.PickReplicaAvoiding(in.Chunk, node, uint64(res.Retries), avoidFailed)
+		if err != nil {
+			panic(abortRun{fmt.Errorf("engine: process %d task %d: %w (all replica holders crashed)", proc, st.task, err)})
+		}
+		path := opts.Topo.ReadPath(srcNode, node)
+		curReads[srcNode]++
+		if curReads[srcNode] > res.PeakConcurrentReads[srcNode] {
+			res.PeakConcurrentReads[srcNode] = curReads[srcNode]
+		}
+		id := net.Start(path, in.SizeMB, opts.Topo.ReadLatency(srcNode), fmt.Sprintf("p%d/t%d/c%d", proc, st.task, in.Chunk))
+		inflight[id] = pending{
+			kind: kindRead,
+			proc: proc,
+			rec: ReadRecord{
+				Proc:    proc,
+				Task:    st.task,
+				Chunk:   in.Chunk,
+				SrcNode: srcNode,
+				DstNode: node,
+				Local:   local,
+				SizeMB:  in.SizeMB,
+				Start:   net.Now() - start,
+			},
+		}
+	}
+
+	startTask = func(proc int) {
+		stalled := net.Active() == 0 && len(waiting) == 0
+		task, st := poller.Poll(proc, stalled)
+		switch st {
+		case PollDone:
+			finishProc(proc)
+			return
+		case PollWait:
+			if stalled {
+				panic("engine: polling source answered wait while the cluster is stalled")
+			}
+			waiting = append(waiting, proc)
+			return
+		}
+		if task < 0 || task >= len(p.Tasks) {
+			panic(fmt.Sprintf("engine: source produced invalid task %d", task))
+		}
+		states[proc] = state{task: task, input: 0}
+		res.TasksRun++
+		startInput(proc)
+	}
+
+	// retryWaiting re-polls every waiting process, repeating while any poll
+	// makes progress. When nothing is in flight the poll is marked stalled,
+	// which obliges the source to answer (delay scheduling's timeout).
+	retryWaiting = func() {
+		for len(waiting) > 0 {
+			stalled := net.Active() == 0
+			ws := waiting
+			waiting = waiting[:0]
+			progress := false
+			for _, proc := range ws {
+				task, st := poller.Poll(proc, stalled)
+				switch st {
+				case PollDone:
+					finishProc(proc)
+					progress = true
+				case PollWait:
+					if stalled {
+						panic("engine: polling source answered wait while the cluster is stalled")
+					}
+					waiting = append(waiting, proc)
+				default:
+					if task < 0 || task >= len(p.Tasks) {
+						panic(fmt.Sprintf("engine: source produced invalid task %d", task))
+					}
+					states[proc] = state{task: task, input: 0}
+					res.TasksRun++
+					startInput(proc)
+					progress = true
+				}
+			}
+			if !progress {
+				return // sleep until the next completion event
+			}
+		}
+	}
+
+	finishProc = func(proc int) {
+		res.ProcFinish[proc] = net.Now() - start
+	}
+
+	net.OnComplete(func(now float64, f *simnet.Flow) {
+		pd, ok := inflight[f.ID]
+		if !ok {
+			panic(fmt.Sprintf("engine: completion for unknown flow %d (%s)", f.ID, f.Label))
+		}
+		delete(inflight, f.ID)
+		proc := pd.proc
+		switch pd.kind {
+		case kindRead:
+			rec := pd.rec
+			rec.End = now - start
+			curReads[rec.SrcNode]--
+			res.Records = append(res.Records, rec)
+			res.ServedMB[rec.SrcNode] += rec.SizeMB
+			st := &states[proc]
+			st.input++
+			if st.input < len(p.Tasks[st.task].Inputs) {
+				startInput(proc)
+				break
+			}
+			// All inputs read: compute phase, if any.
+			if opts.ComputeTime != nil {
+				ct := opts.ComputeTime(st.task)
+				if opts.ComputeFactor != nil {
+					ct *= opts.ComputeFactor(proc)
+				}
+				if ct > 0 {
+					id := net.Start(nil, 0, ct, fmt.Sprintf("p%d/t%d/compute", proc, st.task))
+					inflight[id] = pending{kind: kindCompute, proc: proc}
+					break
+				}
+			}
+			startTask(proc)
+		case kindCompute:
+			startTask(proc)
+		case kindFailure:
+			// The node's storage service is gone: future picks avoid it and
+			// every read it was serving restarts against another replica.
+			failed[pd.node] = true
+			res.FailedNodes = append(res.FailedNodes, pd.node)
+			var victims []simnet.FlowID
+			for id, infl := range inflight {
+				if infl.kind == kindRead && infl.rec.SrcNode == pd.node {
+					victims = append(victims, id)
+				}
+			}
+			// Deterministic retry order.
+			sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+			for _, id := range victims {
+				if net.Cancel(id) < 0 {
+					// Completed in the same event batch: its handler will
+					// run normally, no retry needed.
+					continue
+				}
+				victim := inflight[id]
+				delete(inflight, id)
+				curReads[victim.rec.SrcNode]--
+				res.Retries++
+				startInput(victim.proc) // re-picks avoiding failed nodes
+			}
+		}
+		// A completion may free up a task a waiting process was hoping for
+		// (or leave the cluster stalled, forcing the source's hand).
+		retryWaiting()
+	})
+
+	// Schedule the DataNode crashes as timers.
+	for _, fail := range opts.Failures {
+		if fail.Node < 0 || fail.Node >= opts.Topo.NumNodes() {
+			return nil, fmt.Errorf("engine: failure on invalid node %d", fail.Node)
+		}
+		if fail.At < 0 {
+			return nil, fmt.Errorf("engine: failure time %v must be non-negative", fail.At)
+		}
+		// A zero delay would complete before any read begins; nudge it to
+		// "immediately after start" semantics either way.
+		id := net.Start(nil, 0, fail.At+1e-9, fmt.Sprintf("fail/node%d", fail.Node))
+		inflight[id] = pending{kind: kindFailure, node: fail.Node}
+	}
+
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ab, ok := r.(abortRun); ok {
+					err = ab.err
+					return
+				}
+				panic(r)
+			}
+		}()
+		for proc := 0; proc < numProcs; proc++ {
+			startTask(proc)
+		}
+		retryWaiting()
+		for {
+			net.Run()
+			if len(waiting) == 0 {
+				break
+			}
+			retryWaiting() // the cluster is stalled: sources are forced to answer
+		}
+		return nil
+	}(); err != nil {
+		net.OnComplete(nil)
+		return nil, err
+	}
+	net.OnComplete(nil)
+	// The makespan is when the last process finished — not net.Now(), which
+	// may include failure timers that fired after the job drained.
+	for _, fin := range res.ProcFinish {
+		if fin > res.Makespan {
+			res.Makespan = fin
+		}
+	}
+	res.DiskUtilization = make([]float64, opts.Topo.NumNodes())
+	if res.Makespan > 0 {
+		for n := 0; n < opts.Topo.NumNodes(); n++ {
+			moved := net.WorkMB(opts.Topo.DiskResource(n)) - diskWork0[n]
+			res.DiskUtilization[n] = moved / (opts.Topo.NodeProfile(n).DiskMBps * res.Makespan)
+		}
+	}
+	return res, nil
+}
+
+// RunAssignment is a convenience wrapper: execute a planned static
+// assignment.
+func RunAssignment(opts Options, a *core.Assignment) (*Result, error) {
+	if err := a.Validate(opts.Problem); err != nil {
+		return nil, err
+	}
+	if opts.Strategy == "" {
+		opts.Strategy = "static"
+	}
+	return Run(opts, NewListSource(a.Lists))
+}

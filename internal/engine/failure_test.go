@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+func TestFailureMidRunRetriesReads(t *testing.T) {
+	r := buildRig(t, 8, 80, 41, dfs.RandomPlacement{})
+	a, err := core.RankStatic{}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := r.opts("rank-with-failure")
+	opts.Failures = []NodeFailure{{Node: 3, At: 2.0}}
+	res, err := RunAssignment(opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task still executes despite the crash.
+	if res.TasksRun != 80 {
+		t.Fatalf("tasks run = %d, want 80", res.TasksRun)
+	}
+	if len(res.FailedNodes) != 1 || res.FailedNodes[0] != 3 {
+		t.Fatalf("failed nodes = %v", res.FailedNodes)
+	}
+	// No read that *completed* after the crash was served by the dead node.
+	for _, rec := range res.Records {
+		if rec.SrcNode == 3 && rec.End > 2.0+1e-9 {
+			t.Fatalf("read served by crashed node after failure: %+v", rec)
+		}
+	}
+}
+
+func TestFailureCausesRetries(t *testing.T) {
+	// Crash a node very early so its in-flight reads must restart. With 8
+	// nodes and random placement some reads are served by node 0 at t=0.1
+	// with high probability; assert retries only when it was serving.
+	r := buildRig(t, 8, 80, 42, dfs.RandomPlacement{})
+	a, _ := core.RankStatic{}.Assign(r.prob)
+	opts := r.opts("rank")
+	opts.Failures = []NodeFailure{{Node: 0, At: 0.1}}
+	res, err := RunAssignment(opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 80 {
+		t.Fatalf("tasks = %d", res.TasksRun)
+	}
+	if res.Retries == 0 {
+		t.Fatal("expected at least one retried read after an early crash")
+	}
+}
+
+func TestFailureMakesJobSlower(t *testing.T) {
+	run := func(fail bool) *Result {
+		r := buildRig(t, 8, 80, 43, dfs.RandomPlacement{})
+		a, _ := core.RankStatic{}.Assign(r.prob)
+		opts := r.opts("rank")
+		if fail {
+			opts.Failures = []NodeFailure{{Node: 1, At: 1.0}, {Node: 2, At: 2.0}}
+		}
+		res, err := RunAssignment(opts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(false)
+	faulty := run(true)
+	if faulty.Makespan <= healthy.Makespan {
+		t.Fatalf("two dead nodes should slow the job: %v vs %v",
+			faulty.Makespan, healthy.Makespan)
+	}
+}
+
+func TestAllReplicasFailedIsDataLoss(t *testing.T) {
+	// Clustered placement puts all replicas on nodes 0..2; killing all
+	// three makes chunks unreadable — the engine must surface an error,
+	// not hang or panic.
+	r := buildRig(t, 8, 16, 44, dfs.ClusteredPlacement{})
+	a, _ := core.RankStatic{}.Assign(r.prob)
+	opts := r.opts("rank")
+	opts.Failures = []NodeFailure{
+		{Node: 0, At: 0.1}, {Node: 1, At: 0.1}, {Node: 2, At: 0.1},
+	}
+	_, err := RunAssignment(opts, a)
+	if err == nil {
+		t.Fatal("expected data-loss error")
+	}
+	if !strings.Contains(err.Error(), "replica") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailureAfterJobEndsIsHarmless(t *testing.T) {
+	r := buildRig(t, 8, 16, 45, dfs.RandomPlacement{})
+	a, _ := core.SingleData{}.Assign(r.prob)
+	opts := r.opts("opass")
+	opts.Failures = []NodeFailure{{Node: 5, At: 10000}}
+	res, err := RunAssignment(opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("retries = %d, want 0", res.Retries)
+	}
+	// Makespan reflects the job, not the late failure timer.
+	if res.Makespan > 100 {
+		t.Fatalf("makespan %v polluted by failure timer", res.Makespan)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	r := buildRig(t, 4, 8, 46, dfs.RandomPlacement{})
+	a, _ := core.RankStatic{}.Assign(r.prob)
+	opts := r.opts("rank")
+	opts.Failures = []NodeFailure{{Node: 99, At: 1}}
+	if _, err := RunAssignment(opts, a); err == nil {
+		t.Fatal("invalid failure node must be rejected")
+	}
+	r2 := buildRig(t, 4, 8, 47, dfs.RandomPlacement{})
+	a2, _ := core.RankStatic{}.Assign(r2.prob)
+	opts2 := r2.opts("rank")
+	opts2.Failures = []NodeFailure{{Node: 0, At: -1}}
+	if _, err := RunAssignment(opts2, a2); err == nil {
+		t.Fatal("negative failure time must be rejected")
+	}
+}
+
+func TestOpassPlanSurvivesFailureOfDataNode(t *testing.T) {
+	// Opass planned everything local; when a node dies its OWN processes'
+	// local reads fail over to remote replicas, but the job still finishes
+	// with every task run.
+	r := buildRig(t, 8, 80, 48, dfs.RandomPlacement{})
+	a, _ := core.SingleData{}.Assign(r.prob)
+	opts := r.opts("opass")
+	opts.Failures = []NodeFailure{{Node: 4, At: 0.5}}
+	res, err := RunAssignment(opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != 80 {
+		t.Fatalf("tasks = %d", res.TasksRun)
+	}
+	// Locality dips below 100% because node 4's processes now read remotely.
+	if res.LocalFraction() >= 1.0 {
+		t.Fatalf("locality %v should drop after the crash", res.LocalFraction())
+	}
+}
+
+func TestPeakConcurrencyTracked(t *testing.T) {
+	// Rank assignment on random placement concentrates simultaneous reads
+	// on hot disks; Opass keeps each disk at its own proc's stream(s).
+	rBase := buildRig(t, 16, 160, 81, dfs.RandomPlacement{})
+	aBase, _ := core.RankStatic{}.Assign(rBase.prob)
+	base, err := RunAssignment(rBase.opts("rank"), aBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPeak := 0
+	for _, p := range base.PeakConcurrentReads {
+		if p > maxPeak {
+			maxPeak = p
+		}
+	}
+	if maxPeak < 4 {
+		t.Fatalf("baseline hottest disk peak %d, expected >= 4 concurrent reads", maxPeak)
+	}
+	rOp := buildRig(t, 16, 160, 81, dfs.RandomPlacement{})
+	aOp, _ := core.SingleData{}.Assign(rOp.prob)
+	op, err := RunAssignment(rOp.opts("opass"), aOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opPeak := 0
+	for _, p := range op.PeakConcurrentReads {
+		if p > opPeak {
+			opPeak = p
+		}
+	}
+	// With everything local and sequential per process, each disk serves at
+	// most its own co-located processes (1 here).
+	if opPeak > 2 {
+		t.Fatalf("opass peak concurrency %d, want <= 2", opPeak)
+	}
+	if opPeak >= maxPeak {
+		t.Fatalf("opass peak %d not below baseline %d", opPeak, maxPeak)
+	}
+}
+
+// TestPropertyFailureFuzz injects random crashes and demands the engine
+// either completes every task or reports data loss — never hangs, panics,
+// or silently drops work.
+func TestPropertyFailureFuzz(t *testing.T) {
+	prop := func(seed int64, rawNode, rawTime uint8) bool {
+		nodes := 8
+		r := buildRig(t, nodes, 40, seed, dfs.RandomPlacement{})
+		a, err := core.SingleData{Seed: seed}.Assign(r.prob)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		opts := r.opts("fuzz")
+		opts.Failures = []NodeFailure{
+			{Node: int(rawNode) % nodes, At: float64(rawTime) / 16.0},
+			{Node: (int(rawNode) + 3) % nodes, At: float64(rawTime) / 8.0},
+		}
+		res, err := RunAssignment(opts, a)
+		if err != nil {
+			// Data loss is a legitimate outcome only if a chunk's replicas
+			// all landed on the two crashed nodes — impossible with r=3 and
+			// two failures, so any error is a bug.
+			t.Errorf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.TasksRun != 40 || len(res.Records) != 40 {
+			t.Errorf("seed %d: %d tasks, %d records", seed, res.TasksRun, len(res.Records))
+			return false
+		}
+		// No completed read was served by a node that had already crashed.
+		for _, rec := range res.Records {
+			for _, f := range opts.Failures {
+				if rec.SrcNode == f.Node && rec.End > f.At+1e-6 && rec.Start > f.At {
+					t.Errorf("seed %d: read started on crashed node: %+v", seed, rec)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskUtilizationReported(t *testing.T) {
+	// Fully local balanced reads keep every disk busy most of the run;
+	// the rank baseline leaves idle disks while hotspots saturate.
+	rOp := buildRig(t, 8, 80, 91, dfs.RoundRobinPlacement{})
+	aOp, _ := core.SingleData{}.Assign(rOp.prob)
+	op, err := RunAssignment(rOp.opts("opass"), aOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.DiskUtilization) != 8 {
+		t.Fatalf("utilization slots = %d", len(op.DiskUtilization))
+	}
+	for n, u := range op.DiskUtilization {
+		if u < 0.8 || u > 1.01 {
+			t.Fatalf("node %d utilization %v, want ~1 for balanced local reads", n, u)
+		}
+	}
+	rBase := buildRig(t, 8, 80, 91, dfs.RandomPlacement{})
+	aBase, _ := core.RankStatic{}.Assign(rBase.prob)
+	base, err := RunAssignment(rBase.opts("rank"), aBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline's mean disk utilization is visibly lower (idle time while
+	// waiting on hotspots).
+	meanOp, meanBase := 0.0, 0.0
+	for n := 0; n < 8; n++ {
+		meanOp += op.DiskUtilization[n]
+		meanBase += base.DiskUtilization[n]
+	}
+	if meanBase >= meanOp {
+		t.Fatalf("baseline mean utilization %v not below opass %v", meanBase/8, meanOp/8)
+	}
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/simnet"
+)
+
+// This file implements concurrent multi-job execution. §V-C1 of the paper
+// notes that "clusters are usually shared by multiple applications. Thus,
+// Opass may not greatly enhance the performance of parallel data requests
+// due to the adjustment of HDFS" — a co-running job's reads land on the
+// same disks and NICs regardless of how well Opass planned its own. RunJobs
+// executes several jobs against one topology simultaneously so that
+// interference can be measured (the shared-cluster experiment).
+
+// JobSpec is one application in a concurrent run.
+type JobSpec struct {
+	// Problem and Source drive the job's tasks, exactly as in Run.
+	Problem *core.Problem
+	Source  TaskSource
+	// ComputeTime gives per-task compute seconds (nil = pure I/O).
+	ComputeTime func(task int) float64
+	// Strategy labels the job's Result.
+	Strategy string
+	// StartAt delays the job's processes by this many seconds of virtual
+	// time after the run begins (staggered arrivals).
+	StartAt float64
+}
+
+// RunJobs executes every job concurrently on the shared topology and file
+// system, returning one Result per job (times relative to the run start).
+// Node-failure injection is not supported in concurrent mode.
+func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Result, error) {
+	if topo == nil || fs == nil {
+		return nil, fmt.Errorf("engine: RunJobs requires a topology and file system")
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("engine: no jobs")
+	}
+	net := topo.Net()
+	if net.Active() != 0 {
+		return nil, fmt.Errorf("engine: network busy with %d flows at run start", net.Active())
+	}
+	start := net.Now()
+
+	type jobRT struct {
+		spec    JobSpec
+		poller  PollingSource
+		states  []state2
+		res     *Result
+		waiting []int
+	}
+	rts := make([]*jobRT, len(jobs))
+	for j, spec := range jobs {
+		if spec.Problem == nil || spec.Source == nil {
+			return nil, fmt.Errorf("engine: job %d missing problem or source", j)
+		}
+		if err := spec.Problem.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: job %d: %w", j, err)
+		}
+		for _, node := range spec.Problem.ProcNode {
+			if node < 0 || node >= topo.NumNodes() {
+				return nil, fmt.Errorf("engine: job %d process on invalid node %d", j, node)
+			}
+		}
+		if spec.StartAt < 0 {
+			return nil, fmt.Errorf("engine: job %d negative start time", j)
+		}
+		poller, ok := spec.Source.(PollingSource)
+		if !ok {
+			poller = pollAdapter{spec.Source}
+		}
+		rts[j] = &jobRT{
+			spec:   spec,
+			poller: poller,
+			states: make([]state2, spec.Problem.NumProcs()),
+			res: &Result{
+				Strategy:   spec.Strategy,
+				ServedMB:   make([]float64, topo.NumNodes()),
+				ProcFinish: make([]float64, spec.Problem.NumProcs()),
+			},
+		}
+	}
+
+	type key struct{ job, proc int }
+	type pend struct {
+		kind pendingKind
+		key  key
+		rec  ReadRecord
+	}
+	inflight := make(map[simnet.FlowID]pend)
+	totalWaiting := 0
+
+	var startTask func(j, proc int)
+	startInput := func(j, proc int) {
+		rt := rts[j]
+		st := &rt.states[proc]
+		p := rt.spec.Problem
+		task := &p.Tasks[st.task]
+		in := task.Inputs[(st.input+st.task)%len(task.Inputs)]
+		node := p.ProcNode[proc]
+		srcNode, local, err := fs.PickReplicaAvoiding(in.Chunk, node, 0, nil)
+		if err != nil {
+			panic(abortRun{err})
+		}
+		id := net.Start(topo.ReadPath(srcNode, node), in.SizeMB, topo.ReadLatency(srcNode),
+			fmt.Sprintf("j%d/p%d/t%d", j, proc, st.task))
+		inflight[id] = pend{kind: kindRead, key: key{j, proc}, rec: ReadRecord{
+			Proc: proc, Task: st.task, Chunk: in.Chunk,
+			SrcNode: srcNode, DstNode: node, Local: local,
+			SizeMB: in.SizeMB, Start: net.Now() - start,
+		}}
+	}
+
+	startTask = func(j, proc int) {
+		rt := rts[j]
+		stalled := net.Active() == 0 && totalWaiting == 0
+		task, st := rt.poller.Poll(proc, stalled)
+		switch st {
+		case PollDone:
+			rt.res.ProcFinish[proc] = net.Now() - start
+			return
+		case PollWait:
+			if stalled {
+				panic("engine: polling source answered wait while the cluster is stalled")
+			}
+			rt.waiting = append(rt.waiting, proc)
+			totalWaiting++
+			return
+		}
+		if task < 0 || task >= len(rt.spec.Problem.Tasks) {
+			panic(fmt.Sprintf("engine: job %d source produced invalid task %d", j, task))
+		}
+		rt.states[proc] = state2{task: task, input: 0}
+		rt.res.TasksRun++
+		startInput(j, proc)
+	}
+
+	retryWaiting := func() {
+		for totalWaiting > 0 {
+			stalled := net.Active() == 0
+			progress := false
+			for j, rt := range rts {
+				if len(rt.waiting) == 0 {
+					continue
+				}
+				ws := rt.waiting
+				rt.waiting = rt.waiting[:0]
+				totalWaiting -= len(ws)
+				for _, proc := range ws {
+					before := totalWaiting
+					startTask(j, proc)
+					if totalWaiting == before {
+						progress = true // the proc got a task or finished
+					}
+				}
+			}
+			if !progress {
+				if stalled && totalWaiting > 0 {
+					panic("engine: all jobs waiting with no work in flight")
+				}
+				return
+			}
+		}
+	}
+
+	net.OnComplete(func(now float64, f *simnet.Flow) {
+		pd, ok := inflight[f.ID]
+		if !ok {
+			panic(fmt.Sprintf("engine: completion for unknown flow %d (%s)", f.ID, f.Label))
+		}
+		delete(inflight, f.ID)
+		j, proc := pd.key.job, pd.key.proc
+		rt := rts[j]
+		switch pd.kind {
+		case kindRead:
+			rec := pd.rec
+			rec.End = now - start
+			rt.res.Records = append(rt.res.Records, rec)
+			rt.res.ServedMB[rec.SrcNode] += rec.SizeMB
+			st := &rt.states[proc]
+			st.input++
+			if st.input < len(rt.spec.Problem.Tasks[st.task].Inputs) {
+				startInput(j, proc)
+				break
+			}
+			if rt.spec.ComputeTime != nil {
+				if ct := rt.spec.ComputeTime(st.task); ct > 0 {
+					id := net.Start(nil, 0, ct, fmt.Sprintf("j%d/p%d/compute", j, proc))
+					inflight[id] = pend{kind: kindCompute, key: pd.key}
+					break
+				}
+			}
+			startTask(j, proc)
+		case kindCompute:
+			startTask(j, proc)
+		case kindFailure:
+			// Job arrival timer: release every process of job j.
+			for proc := 0; proc < rt.spec.Problem.NumProcs(); proc++ {
+				startTask(j, proc)
+			}
+		}
+		retryWaiting()
+	})
+
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ab, ok := r.(abortRun); ok {
+					err = ab.err
+					return
+				}
+				panic(r)
+			}
+		}()
+		for j, rt := range rts {
+			if rt.spec.StartAt > 0 {
+				// Reuse the failure kind as a simple arrival timer keyed to
+				// the job (node field unused here).
+				id := net.Start(nil, 0, rt.spec.StartAt, fmt.Sprintf("j%d/arrival", j))
+				inflight[id] = pend{kind: kindFailure, key: key{job: j, proc: -1}}
+				continue
+			}
+			for proc := 0; proc < rt.spec.Problem.NumProcs(); proc++ {
+				startTask(j, proc)
+			}
+		}
+		retryWaiting()
+		for {
+			net.Run()
+			if totalWaiting == 0 {
+				break
+			}
+			retryWaiting()
+		}
+		return nil
+	}(); err != nil {
+		net.OnComplete(nil)
+		return nil, err
+	}
+	net.OnComplete(nil)
+
+	results := make([]*Result, len(jobs))
+	for j, rt := range rts {
+		for _, fin := range rt.res.ProcFinish {
+			if fin > rt.res.Makespan {
+				rt.res.Makespan = fin
+			}
+		}
+		results[j] = rt.res
+	}
+	return results, nil
+}
+
+// state2 mirrors Run's per-process progress record.
+type state2 struct {
+	task  int
+	input int
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+	"opass/internal/workload"
+)
+
+// RedistributionResult quantifies the MRAP-style replica migration
+// extension: one-time migration cost vs per-run remote traffic avoided.
+type RedistributionResult struct {
+	Nodes int
+	// Before/After are Opass runs on the same skewed layout, without and
+	// with the migration applied.
+	Before StrategyResult
+	After  StrategyResult
+	// MovedMB is the migration traffic; BreakEvenRuns = MovedMB / remote
+	// MB per run.
+	MovedMB       float64
+	Migrations    int
+	BreakEvenRuns float64
+}
+
+// Redistribution runs the §V-C1 "data reconstruction/redistribution"
+// extension on a pathologically skewed layout (everything clustered on a
+// quarter of the nodes).
+func Redistribution(cfg Config) (*RedistributionResult, error) {
+	nodes := cfg.scale(64)
+	build := func() (*workload.Rig, *core.Assignment, error) {
+		rig, err := workload.SingleSpec{
+			Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed,
+			Placement: dfs.ClusteredPlacement{},
+		}.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := (core.SingleData{Seed: cfg.Seed}).Assign(rig.Prob)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rig, a, nil
+	}
+	rigBefore, aBefore, err := build()
+	if err != nil {
+		return nil, err
+	}
+	resBefore, err := runAssignment(rigBefore, aBefore, "opass-skewed")
+	if err != nil {
+		return nil, err
+	}
+	rigAfter, aAfter, err := build()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.PlanRedistribution(rigAfter.Prob, aAfter)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Apply(rigAfter.Prob); err != nil {
+		return nil, err
+	}
+	resAfter, err := runAssignment(rigAfter, aAfter, "opass-redistributed")
+	if err != nil {
+		return nil, err
+	}
+	return &RedistributionResult{
+		Nodes:         nodes,
+		Before:        strategyResult(nodes, resBefore),
+		After:         strategyResult(nodes, resAfter),
+		MovedMB:       plan.MovedMB,
+		Migrations:    len(plan.Migrations),
+		BreakEvenRuns: plan.BreakEvenRuns,
+	}, nil
+}
+
+// Render prints the redistribution study.
+func (r *RedistributionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — replica redistribution on clustered placement (%d nodes)\n", r.Nodes)
+	fmt.Fprintf(&b, "  before: local %5.1f%%  avg I/O %6.3fs  makespan %6.1fs  jain %.3f\n",
+		100*r.Before.Local, r.Before.IO.Mean, r.Before.Makespan, r.Before.Fairness)
+	fmt.Fprintf(&b, "  after : local %5.1f%%  avg I/O %6.3fs  makespan %6.1fs  jain %.3f\n",
+		100*r.After.Local, r.After.IO.Mean, r.After.Makespan, r.After.Fairness)
+	fmt.Fprintf(&b, "  migrated %d replicas (%.0f MB), break-even after %.1f runs\n",
+		r.Migrations, r.MovedMB, r.BreakEvenRuns)
+	return b.String()
+}
+
+// ReplicationRow is one replication-factor sample.
+type ReplicationRow struct {
+	Replication int
+	// PlannedLocality is Opass's achievable locality; FullMatching reports
+	// whether every task found a co-located owner.
+	PlannedLocality float64
+	BaselineLocal   float64
+	OpassMakespan   float64
+	BaseMakespan    float64
+}
+
+// ReplicationSweep studies how the replication factor shapes what Opass
+// can achieve: with r=1 a full matching rarely exists; HDFS's default r=3
+// already supports one almost always — the structural reason §IV-A's graph
+// has enough edges.
+func ReplicationSweep(cfg Config, factors []int) ([]ReplicationRow, error) {
+	if len(factors) == 0 {
+		factors = []int{1, 2, 3, 5}
+	}
+	nodes := cfg.scale(64)
+	var rows []ReplicationRow
+	for _, r := range factors {
+		build := func() (*workload.Rig, error) {
+			topo := cluster.New(nodes, cluster.Marmot())
+			fs := dfs.New(topo, dfs.Config{Seed: cfg.Seed, Replication: r})
+			if _, err := fs.Create("/dataset", float64(nodes*10*64)); err != nil {
+				return nil, err
+			}
+			procNode := make([]int, nodes)
+			for i := range procNode {
+				procNode[i] = i
+			}
+			prob, err := core.SingleDataProblem(fs, []string{"/dataset"}, procNode)
+			if err != nil {
+				return nil, err
+			}
+			return &workload.Rig{Topo: topo, FS: fs, Prob: prob}, nil
+		}
+		rigOp, err := build()
+		if err != nil {
+			return nil, err
+		}
+		aOp, err := (core.SingleData{Seed: cfg.Seed}).Assign(rigOp.Prob)
+		if err != nil {
+			return nil, err
+		}
+		resOp, err := runAssignment(rigOp, aOp, "opass")
+		if err != nil {
+			return nil, err
+		}
+		rigBase, err := build()
+		if err != nil {
+			return nil, err
+		}
+		aBase, err := (core.RankStatic{}).Assign(rigBase.Prob)
+		if err != nil {
+			return nil, err
+		}
+		resBase, err := runAssignment(rigBase, aBase, "rank")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ReplicationRow{
+			Replication:     r,
+			PlannedLocality: aOp.LocalityFraction(),
+			BaselineLocal:   resBase.LocalFraction(),
+			OpassMakespan:   resOp.Makespan,
+			BaseMakespan:    resBase.Makespan,
+		})
+	}
+	return rows, nil
+}
+
+// RenderReplication prints the replication sweep.
+func RenderReplication(rows []ReplicationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — replication factor vs achievable locality\n")
+	fmt.Fprintf(&b, "%3s %14s %14s %14s %14s\n", "r", "opass locality", "rank locality", "opass makespan", "rank makespan")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%3d %13.1f%% %13.1f%% %13.1fs %13.1fs\n",
+			r.Replication, 100*r.PlannedLocality, 100*r.BaselineLocal, r.OpassMakespan, r.BaseMakespan)
+	}
+	return b.String()
+}
+
+// SensitivityRow is one seek-penalty sample.
+type SensitivityRow struct {
+	Alpha        float64
+	BaselineMean float64
+	BaselineMax  float64
+	OpassMean    float64
+	Improvement  float64
+}
+
+// SeekPenaltySensitivity sweeps the disk contention model's alpha and
+// reports how the headline improvement responds — the calibration
+// sensitivity study backing the EXPERIMENTS.md discussion of why alpha=0.3
+// was chosen.
+func SeekPenaltySensitivity(cfg Config, alphas []float64) ([]SensitivityRow, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0, 0.15, 0.3, 0.45, 0.6}
+	}
+	nodes := cfg.scale(64)
+	var rows []SensitivityRow
+	for _, alpha := range alphas {
+		prof := cluster.Marmot()
+		prof.DiskSeekPenalty = alpha
+		run := func(as core.Assigner) (StrategyResult, error) {
+			rig, err := workload.SingleSpec{
+				Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed, Profile: &prof,
+			}.Build()
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			a, err := as.Assign(rig.Prob)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			res, err := engine.RunAssignment(engine.Options{
+				Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: as.Name(),
+			}, a)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			return strategyResult(nodes, res), nil
+		}
+		base, err := run(core.RankStatic{})
+		if err != nil {
+			return nil, err
+		}
+		op, err := run(core.SingleData{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row := SensitivityRow{
+			Alpha:        alpha,
+			BaselineMean: base.IO.Mean,
+			BaselineMax:  base.IO.Max,
+			OpassMean:    op.IO.Mean,
+		}
+		if op.IO.Mean > 0 {
+			row.Improvement = base.IO.Mean / op.IO.Mean
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSensitivity prints the seek-penalty sweep.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — disk seek-penalty sensitivity (baseline vs Opass avg I/O)\n")
+	fmt.Fprintf(&b, "%6s %14s %14s %12s %12s\n", "alpha", "baseline mean", "baseline max", "opass mean", "improvement")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.2f %13.2fs %13.2fs %11.2fs %11.2fx\n",
+			r.Alpha, r.BaselineMean, r.BaselineMax, r.OpassMean, r.Improvement)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opass/internal/core"
+)
+
+// DataRow is one dataset-size sample.
+type DataRow struct {
+	ChunksPerProc int
+	Baseline      StrategyResult
+	Opass         StrategyResult
+}
+
+// DataSizeSweep tests the paper's introductory claim that "the I/O
+// performance could be further degraded as the size of the cluster and the
+// data increase" — Figure 7 sweeps the cluster; this sweeps the dataset at
+// a fixed 64-node cluster. The baseline's *worst* read stretches as more
+// requests pile onto the same hotspots, while Opass's per-read time stays
+// at the uncontended local read regardless of dataset size.
+func DataSizeSweep(cfg Config, perProc []int) ([]DataRow, error) {
+	if len(perProc) == 0 {
+		perProc = []int{5, 10, 20, 40}
+	}
+	nodes := cfg.scale(64)
+	var rows []DataRow
+	for _, cp := range perProc {
+		base, err := runSingle(nodes, cp, cfg.Seed+int64(cp), core.RankStatic{})
+		if err != nil {
+			return nil, err
+		}
+		op, err := runSingle(nodes, cp, cfg.Seed+int64(cp), core.SingleData{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DataRow{ChunksPerProc: cp, Baseline: base, Opass: op})
+	}
+	return rows, nil
+}
+
+// RenderDataSweep prints the dataset-size sweep.
+func RenderDataSweep(rows []DataRow, nodes int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — dataset size sweep at %d nodes (chunks per process)\n", nodes)
+	fmt.Fprintf(&b, "%10s | %-32s | %-32s\n", "chunks/pp", "without Opass (avg/max s, util)", "with Opass (avg/max s, util)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d | %8.2f %8.2f %10.0f%% | %8.2f %8.2f %10.0f%%\n",
+			r.ChunksPerProc,
+			r.Baseline.IO.Mean, r.Baseline.IO.Max, 100*r.Baseline.MeanDiskUtilization,
+			r.Opass.IO.Mean, r.Opass.IO.Max, 100*r.Opass.MeanDiskUtilization)
+	}
+	return b.String()
+}

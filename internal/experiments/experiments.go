@@ -1,0 +1,402 @@
+// Package experiments regenerates every figure and quoted result of the
+// Opass paper's evaluation (§III and §V) from the simulated substrate. Each
+// Fig* function returns a structured result with a Render method that
+// prints rows comparable to the corresponding figure; cmd/opass-bench is a
+// thin CLI over this package and bench_test.go wraps each experiment in a
+// testing.B benchmark.
+//
+// The experiments follow the paper's configuration: one process per node,
+// 3-way replication, 64 MB chunks, ten chunks per process for the
+// microbenchmarks, cluster sizes 16–80 for the sweeps and 64 nodes for the
+// traces. Scale can be reduced uniformly for quick runs via the Scale
+// parameter on Config.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opass/internal/analysis"
+	"opass/internal/core"
+	"opass/internal/engine"
+	"opass/internal/metrics"
+	"opass/internal/workload"
+)
+
+// Config tunes experiment scale. The zero value reproduces the paper's
+// setup.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale divides cluster sizes (and hence chunk counts) by this factor;
+	// 0 or 1 means full paper scale. Scale 4 turns the 64-node trace into a
+	// 16-node trace, still large enough to show every effect.
+	Scale int
+}
+
+func (c Config) scale(n int) int {
+	s := c.Scale
+	if s <= 1 {
+		return n
+	}
+	v := n / s
+	if v < 4 {
+		v = 4
+	}
+	return v
+}
+
+// StrategyResult captures one strategy's run within an experiment.
+type StrategyResult struct {
+	Strategy string
+	Nodes    int
+	IO       metrics.Summary // per-read I/O time (s)
+	Served   metrics.Summary // per-node served data (MB)
+	ServedMB []float64
+	IOTimes  []float64
+	Local    float64 // fraction of bytes read locally
+	Makespan float64
+	Fairness float64
+	// MeanDiskUtilization is the average fraction of disk bandwidth used
+	// across nodes during the run (parallel-use efficiency).
+	MeanDiskUtilization float64
+}
+
+func strategyResult(nodes int, res *engine.Result) StrategyResult {
+	io := res.IOTimes()
+	var util float64
+	if len(res.DiskUtilization) > 0 {
+		for _, u := range res.DiskUtilization {
+			util += u
+		}
+		util /= float64(len(res.DiskUtilization))
+	}
+	return StrategyResult{
+		Strategy:            res.Strategy,
+		Nodes:               nodes,
+		IO:                  metrics.Summarize(io),
+		Served:              metrics.Summarize(res.ServedMB),
+		ServedMB:            append([]float64(nil), res.ServedMB...),
+		IOTimes:             io,
+		Local:               res.LocalFraction(),
+		Makespan:            res.Makespan,
+		Fairness:            metrics.JainIndex(res.ServedMB),
+		MeanDiskUtilization: util,
+	}
+}
+
+// runSingle builds a fresh single-data rig and executes it under the given
+// assigner. Each strategy gets an identical, independently-built rig (same
+// seed ⇒ same placement), so comparisons are paired.
+func runSingle(nodes, chunksPerProc int, seed int64, as core.Assigner) (StrategyResult, error) {
+	rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: chunksPerProc, Seed: seed}.Build()
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	a, err := as.Assign(rig.Prob)
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	res, err := engine.RunAssignment(engine.Options{
+		Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: as.Name(),
+	}, a)
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	return strategyResult(nodes, res), nil
+}
+
+// Fig1Result is the motivating experiment: 64 nodes, 128 chunks, rank
+// assignment — the served-chunk imbalance (Fig 1a) and the spread of
+// per-read I/O times (Fig 1b).
+type Fig1Result struct {
+	Run StrategyResult
+	// ChunksServed[node] counts chunks served by each node (Fig 1a's bars).
+	ChunksServed []int
+	// MaxChunks / IdleNodes quantify the skew the paper highlights
+	// ("node-43 serves more than 6 chunks while some node serves none").
+	MaxChunks int
+	IdleNodes int
+	// PredictedMax is the §III balls-in-bins expectation of the busiest
+	// node's chunk count, for comparison with the observed MaxChunks.
+	PredictedMax float64
+	// PeakConcurrency is the deepest simultaneous read queue any disk saw —
+	// the §III-B "compete for the hard disk head" depth.
+	PeakConcurrency int
+}
+
+// Fig1 reproduces Figure 1.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	nodes := cfg.scale(64)
+	chunks := 2 * nodes // 128 chunks on 64 nodes: 2 per node ideally
+	rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: chunks / nodes, Seed: cfg.Seed}.Build()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.RankStatic{}.Assign(rig.Prob)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunAssignment(engine.Options{
+		Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: "rank-static",
+	}, a)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{
+		Run:          strategyResult(nodes, res),
+		ChunksServed: make([]int, nodes),
+	}
+	for _, rec := range res.Records {
+		out.ChunksServed[rec.SrcNode]++
+	}
+	for _, c := range out.ChunksServed {
+		if c > out.MaxChunks {
+			out.MaxChunks = c
+		}
+		if c == 0 {
+			out.IdleNodes++
+		}
+	}
+	out.PredictedMax = analysis.ExpectedMaxServed(analysis.LocalReadParams{
+		Chunks: chunks, Replication: rig.FS.Config().Replication, Nodes: nodes,
+	})
+	for _, p := range res.PeakConcurrentReads {
+		if p > out.PeakConcurrency {
+			out.PeakConcurrency = p
+		}
+	}
+	return out, nil
+}
+
+// Render prints the figure rows.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — imbalanced parallel reads (rank assignment, %d nodes, %d chunks)\n",
+		r.Run.Nodes, len(r.Run.IOTimes))
+	fmt.Fprintf(&b, "(a) chunks served per node: ideal=%d max=%d (model predicts %.1f) idle-nodes=%d\n",
+		len(r.Run.IOTimes)/r.Run.Nodes, r.MaxChunks, r.PredictedMax, r.IdleNodes)
+	fmt.Fprintf(&b, "    per-node: %s\n", intBars(r.ChunksServed))
+	fmt.Fprintf(&b, "(b) I/O times: %s spread=%.1fx\n", r.Run.IO, r.Run.IO.Spread())
+	fmt.Fprintf(&b, "    deepest disk queue: %d concurrent reads\n", r.PeakConcurrency)
+	fmt.Fprintf(&b, "    local bytes: %.1f%%\n", 100*r.Run.Local)
+	return b.String()
+}
+
+// SweepRow is one (cluster size, strategy) cell of Figures 7a/7b/8a/8b.
+type SweepRow struct {
+	Nodes    int
+	Baseline StrategyResult
+	Opass    StrategyResult
+}
+
+// SweepResult holds the cluster-size sweep of Figures 7 and 8.
+type SweepResult struct {
+	Rows []SweepRow
+}
+
+// SingleDataSweep reproduces Figures 7(a,b) and 8(a,b): the per-chunk I/O
+// time and per-node served-data statistics across cluster sizes, with and
+// without Opass. Ten chunks per process, as in the paper.
+func SingleDataSweep(cfg Config, sizes []int) (*SweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 48, 64, 80}
+	}
+	out := &SweepResult{}
+	for _, raw := range sizes {
+		nodes := cfg.scale(raw)
+		base, err := runSingle(nodes, 10, cfg.Seed+int64(raw), core.RankStatic{})
+		if err != nil {
+			return nil, err
+		}
+		op, err := runSingle(nodes, 10, cfg.Seed+int64(raw), core.SingleData{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, SweepRow{Nodes: nodes, Baseline: base, Opass: op})
+	}
+	return out, nil
+}
+
+// Render prints the sweep in the paper's avg/max/min format.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7(a,b) — chunk I/O times vs cluster size (s)\n")
+	fmt.Fprintf(&b, "%6s | %-30s | %-30s\n", "nodes", "without Opass (avg/min/max)", "with Opass (avg/min/max)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n",
+			row.Nodes,
+			row.Baseline.IO.Mean, row.Baseline.IO.Min, row.Baseline.IO.Max,
+			row.Opass.IO.Mean, row.Opass.IO.Min, row.Opass.IO.Max)
+	}
+	b.WriteString("\nFigure 8(a,b) — data served per node vs cluster size (MB)\n")
+	fmt.Fprintf(&b, "%6s | %-30s | %-30s\n", "nodes", "without Opass (avg/min/max)", "with Opass (avg/min/max)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d | %9.0f %9.0f %9.0f | %9.0f %9.0f %9.0f\n",
+			row.Nodes,
+			row.Baseline.Served.Mean, row.Baseline.Served.Min, row.Baseline.Served.Max,
+			row.Opass.Served.Mean, row.Opass.Served.Min, row.Opass.Served.Max)
+	}
+	b.WriteString("\nlocality (bytes read locally)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d | %29.1f%% | %29.1f%%\n", row.Nodes, 100*row.Baseline.Local, 100*row.Opass.Local)
+	}
+	return b.String()
+}
+
+// TraceResult holds a paired 64-node trace (Figures 7c+8c, 9+10, 11).
+type TraceResult struct {
+	Title    string
+	Baseline StrategyResult
+	Opass    StrategyResult
+}
+
+// AvgRatio is the paper's headline metric: baseline avg I/O over Opass avg.
+func (r *TraceResult) AvgRatio() float64 {
+	if r.Opass.IO.Mean == 0 {
+		return 0
+	}
+	return r.Baseline.IO.Mean / r.Opass.IO.Mean
+}
+
+// Render prints the trace statistics and per-node service loads.
+func (r *TraceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d nodes, %d reads)\n", r.Title, r.Baseline.Nodes, len(r.Baseline.IOTimes))
+	fmt.Fprintf(&b, "  without Opass: %s local=%.1f%% makespan=%.1fs\n",
+		r.Baseline.IO, 100*r.Baseline.Local, r.Baseline.Makespan)
+	fmt.Fprintf(&b, "  with    Opass: %s local=%.1f%% makespan=%.1fs\n",
+		r.Opass.IO, 100*r.Opass.Local, r.Opass.Makespan)
+	fmt.Fprintf(&b, "  avg I/O improvement: %.2fx\n", r.AvgRatio())
+	fmt.Fprintf(&b, "  served MB/node without: avg=%.0f min=%.0f max=%.0f jain=%.3f\n",
+		r.Baseline.Served.Mean, r.Baseline.Served.Min, r.Baseline.Served.Max, r.Baseline.Fairness)
+	fmt.Fprintf(&b, "  served MB/node with:    avg=%.0f min=%.0f max=%.0f jain=%.3f\n",
+		r.Opass.Served.Mean, r.Opass.Served.Min, r.Opass.Served.Max, r.Opass.Fairness)
+	fmt.Fprintf(&b, "  mean disk utilization:  %.0f%% without, %.0f%% with\n",
+		100*r.Baseline.MeanDiskUtilization, 100*r.Opass.MeanDiskUtilization)
+	return b.String()
+}
+
+// Fig7cTrace reproduces Figures 7(c) and 8(c): the 64-node, 640-chunk
+// single-data trace under rank assignment vs Opass.
+func Fig7cTrace(cfg Config) (*TraceResult, error) {
+	nodes := cfg.scale(64)
+	base, err := runSingle(nodes, 10, cfg.Seed, core.RankStatic{})
+	if err != nil {
+		return nil, err
+	}
+	op, err := runSingle(nodes, 10, cfg.Seed, core.SingleData{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Title:    "Figures 7c/8c — parallel single-data access trace",
+		Baseline: base,
+		Opass:    op,
+	}, nil
+}
+
+// Fig9Trace reproduces Figures 9 and 10: multi-data tasks (30+20+10 MB
+// inputs) under the default assignment vs Opass's Algorithm 1.
+func Fig9Trace(cfg Config) (*TraceResult, error) {
+	nodes := cfg.scale(64)
+	run := func(as core.Assigner) (StrategyResult, error) {
+		rig, err := workload.MultiSpec{Nodes: nodes, TasksPerProc: 10, Seed: cfg.Seed}.Build()
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		a, err := as.Assign(rig.Prob)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		res, err := engine.RunAssignment(engine.Options{
+			Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob, Strategy: as.Name(),
+		}, a)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		return strategyResult(nodes, res), nil
+	}
+	base, err := run(core.RankStatic{})
+	if err != nil {
+		return nil, err
+	}
+	op, err := run(core.MultiData{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Title:    "Figures 9/10 — parallel multi-data access trace",
+		Baseline: base,
+		Opass:    op,
+	}, nil
+}
+
+// Fig11Trace reproduces Figure 11: dynamic master/worker access with
+// irregular task times — the default random master vs the Opass-guided
+// master of §IV-D.
+func Fig11Trace(cfg Config) (*TraceResult, error) {
+	nodes := cfg.scale(64)
+	run := func(opass bool) (StrategyResult, error) {
+		rig, err := workload.DynamicSpec{
+			Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed,
+			ComputeMean: 0.5, ComputeSigma: 1.0,
+		}.Build()
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		var src engine.TaskSource
+		name := "random-dynamic"
+		if opass {
+			plan, err := core.SingleData{Seed: cfg.Seed}.Assign(rig.Prob)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			sched, err := core.NewDynamicScheduler(rig.Prob, plan)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			src = sched
+			name = "opass-dynamic"
+		} else {
+			src = core.NewRandomDispatcher(rig.Prob, cfg.Seed)
+		}
+		res, err := engine.Run(engine.Options{
+			Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob,
+			ComputeTime: rig.Compute, Strategy: name,
+		}, src)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		return strategyResult(nodes, res), nil
+	}
+	base, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	op, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceResult{
+		Title:    "Figure 11 — dynamic data access trace",
+		Baseline: base,
+		Opass:    op,
+	}, nil
+}
+
+// intBars renders small integer vectors compactly.
+func intBars(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// Nodes maps a paper-scale cluster size through the configured scale
+// divisor, for callers that size their own workloads.
+func (c Config) Nodes(paper int) int { return c.scale(paper) }

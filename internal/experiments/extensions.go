@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"opass/internal/core"
+	"opass/internal/delay"
+	"opass/internal/engine"
+	"opass/internal/workload"
+)
+
+// This file holds the extension experiments beyond the paper's figures:
+// the related-work comparison against delay scheduling (§VI), the
+// heterogeneous-environment static-vs-dynamic study that motivates §IV-D,
+// and the greedy-vs-flow planner quality/latency trade-off that addresses
+// the §V-C2 scalability future-work item.
+
+// DynamicStrategiesResult compares three masters on the same workload.
+type DynamicStrategiesResult struct {
+	Random StrategyResult
+	Delay  StrategyResult
+	Opass  StrategyResult
+	// MaxSkips is the delay-scheduling D parameter used.
+	MaxSkips int
+}
+
+// DynamicStrategies runs the dynamic workload of Figure 11 under the
+// random master, delay scheduling, and Opass's §IV-D scheduler.
+func DynamicStrategies(cfg Config) (*DynamicStrategiesResult, error) {
+	nodes := cfg.scale(64)
+	const maxSkips = 3
+	run := func(kind string) (StrategyResult, error) {
+		rig, err := workload.DynamicSpec{
+			Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed,
+			ComputeMean: 0.5, ComputeSigma: 1.0,
+		}.Build()
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		var src engine.TaskSource
+		switch kind {
+		case "random-dynamic":
+			src = core.NewRandomDispatcher(rig.Prob, cfg.Seed)
+		case "delay-scheduling":
+			src = delay.NewDispatcher(rig.Prob, maxSkips, cfg.Seed)
+		case "opass-dynamic":
+			plan, err := core.SingleData{Seed: cfg.Seed}.Assign(rig.Prob)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			sched, err := core.NewDynamicScheduler(rig.Prob, plan)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			src = sched
+		}
+		res, err := engine.Run(engine.Options{
+			Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob,
+			ComputeTime: rig.Compute, Strategy: kind,
+		}, src)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		return strategyResult(nodes, res), nil
+	}
+	random, err := run("random-dynamic")
+	if err != nil {
+		return nil, err
+	}
+	dl, err := run("delay-scheduling")
+	if err != nil {
+		return nil, err
+	}
+	op, err := run("opass-dynamic")
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicStrategiesResult{Random: random, Delay: dl, Opass: op, MaxSkips: maxSkips}, nil
+}
+
+// Render prints the three-way comparison.
+func (r *DynamicStrategiesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — dynamic masters compared (%d nodes, delay D=%d)\n", r.Random.Nodes, r.MaxSkips)
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %10s\n", "master", "avg I/O(s)", "max I/O(s)", "local", "makespan")
+	for _, s := range []StrategyResult{r.Random, r.Delay, r.Opass} {
+		fmt.Fprintf(&b, "%-18s %10.3f %10.3f %9.1f%% %9.1fs\n",
+			s.Strategy, s.IO.Mean, s.IO.Max, 100*s.Local, s.Makespan)
+	}
+	return b.String()
+}
+
+// HeteroResult compares static equal lists, capacity-weighted static
+// lists, and dynamic dispatch on a heterogeneous cluster.
+type HeteroResult struct {
+	Static   StrategyResult
+	Weighted StrategyResult
+	Dynamic  StrategyResult
+	// SlowNodes is how many nodes compute at SlowFactor speed.
+	SlowNodes  int
+	SlowFactor float64
+}
+
+// HeteroStaticVsDynamic reproduces the motivation of §IV-D: on a cluster
+// where a quarter of the nodes compute 3x slower, a static equal split
+// strands work on the slow nodes, while Opass's dynamic scheduler lets fast
+// workers steal — without giving up locality for the tasks that stay put.
+func HeteroStaticVsDynamic(cfg Config) (*HeteroResult, error) {
+	nodes := cfg.scale(64)
+	slow := nodes / 4
+	const slowFactor = 3.0
+	factor := func(proc int) float64 {
+		if proc < slow {
+			return slowFactor
+		}
+		return 1
+	}
+	run := func(mode string) (StrategyResult, error) {
+		rig, err := workload.DynamicSpec{
+			Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed,
+			ComputeMean: 1.0, ComputeSigma: 0.5,
+		}.Build()
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		planner := core.SingleData{Seed: cfg.Seed}
+		if mode == "weighted" {
+			// "Load capacity" weights: a node that computes 3x slower
+			// receives a third of the share.
+			weights := make([]float64, nodes)
+			for i := range weights {
+				weights[i] = 1 / factor(i)
+			}
+			planner.Weights = weights
+		}
+		plan, err := planner.Assign(rig.Prob)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		var src engine.TaskSource
+		name := "opass-static-" + mode
+		if mode == "dynamic" {
+			sched, err := core.NewDynamicScheduler(rig.Prob, plan)
+			if err != nil {
+				return StrategyResult{}, err
+			}
+			src = sched
+			name = "opass-dynamic"
+		} else {
+			src = engine.NewListSource(plan.Lists)
+		}
+		res, err := engine.Run(engine.Options{
+			Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob,
+			ComputeTime: rig.Compute, ComputeFactor: factor, Strategy: name,
+		}, src)
+		if err != nil {
+			return StrategyResult{}, err
+		}
+		return strategyResult(nodes, res), nil
+	}
+	st, err := run("equal")
+	if err != nil {
+		return nil, err
+	}
+	wt, err := run("weighted")
+	if err != nil {
+		return nil, err
+	}
+	dy, err := run("dynamic")
+	if err != nil {
+		return nil, err
+	}
+	return &HeteroResult{Static: st, Weighted: wt, Dynamic: dy, SlowNodes: slow, SlowFactor: slowFactor}, nil
+}
+
+// Render prints the heterogeneous comparison.
+func (r *HeteroResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — heterogeneous cluster (§IV-D motivation): %d of %d nodes compute %.0fx slower\n",
+		r.SlowNodes, r.Static.Nodes, r.SlowFactor)
+	fmt.Fprintf(&b, "  static equal lists    : makespan %6.1fs  local %5.1f%%\n", r.Static.Makespan, 100*r.Static.Local)
+	fmt.Fprintf(&b, "  static capacity-weighted: makespan %5.1fs  local %5.1f%%\n", r.Weighted.Makespan, 100*r.Weighted.Local)
+	fmt.Fprintf(&b, "  dynamic (§IV-D)       : makespan %6.1fs  local %5.1f%%\n", r.Dynamic.Makespan, 100*r.Dynamic.Local)
+	fmt.Fprintf(&b, "  speedup over equal static: weighted %.2fx, dynamic %.2fx\n",
+		r.Static.Makespan/r.Weighted.Makespan, r.Static.Makespan/r.Dynamic.Makespan)
+	return b.String()
+}
+
+// GreedyQualityRow is one size point of the greedy-vs-flow trade-off.
+type GreedyQualityRow struct {
+	Procs, Tasks     int
+	FlowLocal        float64
+	GreedyLocal      float64
+	FlowWall         time.Duration
+	GreedyWall       time.Duration
+	QualityRetention float64 // greedy locality / flow locality
+}
+
+// GreedyVsFlow measures the scalable heuristic planner against the optimal
+// flow planner across problem sizes — the §V-C2 future-work trade-off.
+func GreedyVsFlow(cfg Config, sizes []int) ([]GreedyQualityRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128}
+	}
+	var rows []GreedyQualityRow
+	for _, nodes := range sizes {
+		rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: 10, Seed: cfg.Seed}.Build()
+		if err != nil {
+			return nil, err
+		}
+		row := GreedyQualityRow{Procs: nodes, Tasks: len(rig.Prob.Tasks)}
+		start := time.Now()
+		flow, err := (core.SingleData{Seed: cfg.Seed}).Assign(rig.Prob)
+		if err != nil {
+			return nil, err
+		}
+		row.FlowWall = time.Since(start)
+		start = time.Now()
+		greedy, err := (core.GreedyLocality{Seed: cfg.Seed}).Assign(rig.Prob)
+		if err != nil {
+			return nil, err
+		}
+		row.GreedyWall = time.Since(start)
+		row.FlowLocal = flow.LocalityFraction()
+		row.GreedyLocal = greedy.LocalityFraction()
+		if row.FlowLocal > 0 {
+			row.QualityRetention = row.GreedyLocal / row.FlowLocal
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderGreedy prints the greedy-vs-flow rows.
+func RenderGreedy(rows []GreedyQualityRow) string {
+	var b strings.Builder
+	b.WriteString("Extension — greedy heuristic vs optimal flow planner (§V-C2 future work)\n")
+	fmt.Fprintf(&b, "%6s %7s %12s %12s %10s %10s %9s\n",
+		"procs", "tasks", "flow wall", "greedy wall", "flow loc", "greedy loc", "retained")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %7d %12s %12s %9.1f%% %9.1f%% %8.1f%%\n",
+			r.Procs, r.Tasks, r.FlowWall, r.GreedyWall,
+			100*r.FlowLocal, 100*r.GreedyLocal, 100*r.QualityRetention)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ReplicatedTrace aggregates a trace experiment over several seeds — the
+// paper's "we run the tests 5 times" practice, which separates the
+// qualitative shape from single-placement luck.
+type ReplicatedTrace struct {
+	Title string
+	Runs  []*TraceResult
+	// Per-seed improvement factors (baseline avg I/O / Opass avg I/O) and
+	// their mean / standard deviation.
+	Ratios    []float64
+	RatioMean float64
+	RatioSD   float64
+	// Locality means across seeds.
+	BaselineLocalMean float64
+	OpassLocalMean    float64
+}
+
+// Replicate runs the trace experiment n times with seeds cfg.Seed,
+// cfg.Seed+1, ... and aggregates the headline metrics.
+func Replicate(f func(Config) (*TraceResult, error), cfg Config, n int) (*ReplicatedTrace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: replication count %d must be positive", n)
+	}
+	out := &ReplicatedTrace{}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		r, err := f(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replication %d: %w", i, err)
+		}
+		if out.Title == "" {
+			out.Title = r.Title
+		}
+		out.Runs = append(out.Runs, r)
+		ratio := r.AvgRatio()
+		out.Ratios = append(out.Ratios, ratio)
+		out.RatioMean += ratio
+		out.BaselineLocalMean += r.Baseline.Local
+		out.OpassLocalMean += r.Opass.Local
+	}
+	fn := float64(n)
+	out.RatioMean /= fn
+	out.BaselineLocalMean /= fn
+	out.OpassLocalMean /= fn
+	var ss float64
+	for _, ratio := range out.Ratios {
+		d := ratio - out.RatioMean
+		ss += d * d
+	}
+	out.RatioSD = math.Sqrt(ss / fn)
+	return out, nil
+}
+
+// Render prints the replicated summary.
+func (r *ReplicatedTrace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d seeds\n", r.Title, len(r.Runs))
+	fmt.Fprintf(&b, "  avg I/O improvement: %.2fx ± %.2f (per seed:", r.RatioMean, r.RatioSD)
+	for _, ratio := range r.Ratios {
+		fmt.Fprintf(&b, " %.2f", ratio)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  locality: baseline %.1f%%, opass %.1f%% (means)\n",
+		100*r.BaselineLocalMean, 100*r.OpassLocalMean)
+	return b.String()
+}

@@ -1,0 +1,343 @@
+// Package fsshell implements an hdfs-dfs-style command interpreter over the
+// simulated distributed file system — the operator surface for exploring
+// the substrate interactively or from scripts: create clusters, store
+// files, inspect block locations, run the balancer and fsck, decommission
+// nodes, and read data back through the libhdfs-style client.
+//
+// Commands are line-oriented; '#' starts a comment. The interpreter is
+// deterministic given the mkfs seed, so shell scripts double as executable
+// documentation (see cmd/opass-fs).
+package fsshell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"opass/internal/dfs"
+)
+
+// view is the minimal cluster view a standalone file system needs.
+type view struct{ nodes, racks int }
+
+func (v view) NumNodes() int    { return v.nodes }
+func (v view) RackOf(n int) int { return n % v.racks }
+
+// Shell is one interpreter session.
+type Shell struct {
+	fs    *dfs.FileSystem
+	nodes int
+	out   io.Writer
+}
+
+// New creates a session writing results to out. A file system must be
+// created with the mkfs command before most other commands work.
+func New(out io.Writer) *Shell {
+	return &Shell{out: out}
+}
+
+// FS exposes the current file system (nil before mkfs) for tests.
+func (s *Shell) FS() *dfs.FileSystem { return s.fs }
+
+// Run executes every command from r, stopping at the first error when
+// strict is true. It returns the number of commands executed.
+func (s *Shell) Run(r io.Reader, strict bool) (int, error) {
+	sc := bufio.NewScanner(r)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n++
+		if err := s.Exec(line); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			if strict {
+				return n, err
+			}
+		}
+	}
+	return n, sc.Err()
+}
+
+// Exec runs a single command line.
+func (s *Shell) Exec(line string) error {
+	args := strings.Fields(line)
+	if len(args) == 0 {
+		return nil
+	}
+	cmd, args := args[0], args[1:]
+	if cmd != "mkfs" && cmd != "help" && s.fs == nil {
+		return fmt.Errorf("no file system: run mkfs first")
+	}
+	switch cmd {
+	case "help":
+		fmt.Fprint(s.out, helpText)
+		return nil
+	case "mkfs":
+		return s.mkfs(args)
+	case "put":
+		return s.put(args)
+	case "write":
+		return s.write(args)
+	case "cat":
+		return s.cat(args)
+	case "ls":
+		return s.ls()
+	case "stat":
+		return s.stat(args)
+	case "rm":
+		return s.rm(args)
+	case "mv":
+		return s.mv(args)
+	case "fsck":
+		return s.fsck()
+	case "balance":
+		return s.balance(args)
+	case "decommission":
+		return s.decommission(args)
+	case "report":
+		return s.report()
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+const helpText = `commands:
+  mkfs -nodes N [-replication R] [-racks K] [-seed S]   create a cluster + fs
+  put NAME SIZE_MB         store a synthetic file
+  write NAME TEXT...       store a file with literal contents
+  cat NAME [BYTES]         print file contents (default 64 bytes)
+  ls                       list files
+  stat NAME                show per-chunk replica placement
+  rm NAME                  delete a file
+  mv OLD NEW               rename a file
+  fsck                     verify namenode consistency
+  balance [THRESHOLD]      run the balancer (default threshold 0.1)
+  decommission NODE        retire a node, re-replicating its chunks
+  report                   per-node storage utilization
+  help                     this text
+`
+
+func (s *Shell) mkfs(args []string) error {
+	nodes, repl, racks, seed := 0, 0, 1, int64(0)
+	for i := 0; i < len(args); i++ {
+		flagName := args[i]
+		if i+1 >= len(args) {
+			return fmt.Errorf("mkfs: %s needs a value", flagName)
+		}
+		i++
+		v, err := strconv.ParseInt(args[i], 10, 64)
+		if err != nil {
+			return fmt.Errorf("mkfs: bad value %q for %s", args[i], flagName)
+		}
+		switch flagName {
+		case "-nodes":
+			nodes = int(v)
+		case "-replication":
+			repl = int(v)
+		case "-racks":
+			racks = int(v)
+		case "-seed":
+			seed = v
+		default:
+			return fmt.Errorf("mkfs: unknown flag %s", flagName)
+		}
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("mkfs: -nodes is required and must be positive")
+	}
+	if racks <= 0 {
+		racks = 1
+	}
+	s.fs = dfs.New(view{nodes: nodes, racks: racks}, dfs.Config{Replication: repl, Seed: seed})
+	s.nodes = nodes
+	fmt.Fprintf(s.out, "created %d-node fs (replication %d, %d racks)\n",
+		nodes, s.fs.Config().Replication, racks)
+	return nil
+}
+
+func (s *Shell) put(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("put NAME SIZE_MB")
+	}
+	size, err := strconv.ParseFloat(args[1], 64)
+	if err != nil {
+		return fmt.Errorf("put: bad size %q", args[1])
+	}
+	f, err := s.fs.Create(args[0], size)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "stored %s: %.0f MB in %d chunks\n", f.Name, f.SizeMB, len(f.Chunks))
+	return nil
+}
+
+func (s *Shell) write(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("write NAME TEXT...")
+	}
+	w, err := s.fs.Client(-1).Create(args[0])
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(strings.Join(args[1:], " "))); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	f, _ := s.fs.Stat(args[0])
+	fmt.Fprintf(s.out, "wrote %s: %d chunks\n", f.Name, len(f.Chunks))
+	return nil
+}
+
+func (s *Shell) cat(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("cat NAME [BYTES]")
+	}
+	n := 64
+	if len(args) == 2 {
+		v, err := strconv.Atoi(args[1])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("cat: bad byte count %q", args[1])
+		}
+		n = v
+	}
+	r, err := s.fs.Client(0).Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	buf := make([]byte, n)
+	read, err := r.Read(buf)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	for _, b := range buf[:read] {
+		if b >= 32 && b < 127 {
+			fmt.Fprintf(s.out, "%c", b)
+		} else {
+			fmt.Fprintf(s.out, "\\x%02x", b)
+		}
+	}
+	fmt.Fprintln(s.out)
+	return nil
+}
+
+func (s *Shell) ls() error {
+	files := s.fs.Files()
+	if len(files) == 0 {
+		fmt.Fprintln(s.out, "(empty)")
+		return nil
+	}
+	for _, name := range files {
+		f, err := s.fs.Stat(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "%-30s %8.0f MB %5d chunks\n", f.Name, f.SizeMB, len(f.Chunks))
+	}
+	return nil
+}
+
+func (s *Shell) stat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat NAME")
+	}
+	locs, err := s.fs.BlockLocations(args[0])
+	if err != nil {
+		return err
+	}
+	for i, loc := range locs {
+		fmt.Fprintf(s.out, "chunk %3d: %6.1f MB on nodes %v\n", i, loc.SizeMB, loc.Replicas)
+	}
+	return nil
+}
+
+func (s *Shell) rm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("rm NAME")
+	}
+	if err := s.fs.Delete(args[0]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "deleted %s\n", args[0])
+	return nil
+}
+
+func (s *Shell) mv(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("mv OLD NEW")
+	}
+	if err := s.fs.Rename(args[0], args[1]); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "renamed %s -> %s\n", args[0], args[1])
+	return nil
+}
+
+func (s *Shell) fsck() error {
+	problems := s.fs.Fsck()
+	if len(problems) == 0 {
+		fmt.Fprintln(s.out, "fsck: healthy")
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintf(s.out, "fsck: %s\n", p)
+	}
+	return fmt.Errorf("fsck found %d problems", len(problems))
+}
+
+func (s *Shell) balance(args []string) error {
+	threshold := 0.1
+	if len(args) == 1 {
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("balance: bad threshold %q", args[0])
+		}
+		threshold = v
+	}
+	moved := s.fs.Balance(threshold)
+	fmt.Fprintf(s.out, "balancer moved %d replicas\n", moved)
+	return nil
+}
+
+func (s *Shell) decommission(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("decommission NODE")
+	}
+	node, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("decommission: bad node %q", args[0])
+	}
+	moved, err := s.fs.Decommission(node)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "decommissioned node %d, re-replicated %d chunks\n", node, moved)
+	return nil
+}
+
+func (s *Shell) report() error {
+	type row struct {
+		node int
+		mb   float64
+	}
+	rows := make([]row, 0, s.nodes)
+	var total float64
+	for n := 0; n < s.nodes; n++ {
+		mb := s.fs.StoredMB(n)
+		rows = append(rows, row{node: n, mb: mb})
+		total += mb
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].node < rows[j].node })
+	for _, r := range rows {
+		fmt.Fprintf(s.out, "node %3d: %8.0f MB\n", r.node, r.mb)
+	}
+	fmt.Fprintf(s.out, "total: %.0f MB across %d live nodes\n", total, s.fs.NumLiveNodes())
+	return nil
+}

@@ -1,0 +1,175 @@
+package fsshell
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, script string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	sh := New(&out)
+	_, err := sh.Run(strings.NewReader(script), true)
+	return out.String(), err
+}
+
+func TestBasicSession(t *testing.T) {
+	out, err := run(t, `
+# create a small cluster
+mkfs -nodes 8 -seed 7
+put /data/big 640
+ls
+stat /data/big
+fsck
+report
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"created 8-node fs (replication 3, 1 racks)",
+		"stored /data/big: 640 MB in 10 chunks",
+		"/data/big",
+		"chunk   0:",
+		"fsck: healthy",
+		"total: 1920 MB across 8 live nodes", // 640 * 3 replicas
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAndCat(t *testing.T) {
+	out, err := run(t, `
+mkfs -nodes 4 -seed 1
+write /hello hello distributed world
+cat /hello 32
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "hello distributed world") {
+		t.Fatalf("cat did not round-trip:\n%s", out)
+	}
+}
+
+func TestRmAndRecreate(t *testing.T) {
+	out, err := run(t, `
+mkfs -nodes 4 -seed 2
+put /a 64
+rm /a
+put /a 128
+ls
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "deleted /a") || !strings.Contains(out, "128 MB") {
+		t.Fatalf("rm/recreate flow broken:\n%s", out)
+	}
+}
+
+func TestDecommissionAndBalance(t *testing.T) {
+	out, err := run(t, `
+mkfs -nodes 8 -seed 3
+put /d 1280
+decommission 0
+fsck
+balance 0.1
+fsck
+`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "decommissioned node 0") {
+		t.Fatalf("missing decommission output:\n%s", out)
+	}
+	if strings.Count(out, "fsck: healthy") != 2 {
+		t.Fatalf("fs unhealthy after admin ops:\n%s", out)
+	}
+}
+
+func TestErrorsWithoutMkfs(t *testing.T) {
+	var out strings.Builder
+	sh := New(&out)
+	if err := sh.Exec("ls"); err == nil {
+		t.Fatal("ls before mkfs must fail")
+	}
+	if err := sh.Exec("help"); err != nil {
+		t.Fatal("help must work before mkfs")
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	var out strings.Builder
+	sh := New(&out)
+	sh.Exec("mkfs -nodes 4")
+	for _, bad := range []string{
+		"frobnicate",
+		"put /x",
+		"put /x notanumber",
+		"cat",
+		"cat /missing",
+		"rm",
+		"rm /missing",
+		"stat /missing",
+		"decommission abc",
+		"balance -1",
+		"mkfs -nodes 0",
+		"mkfs -bogus 3",
+		"mkfs -nodes",
+		"write /solo",
+	} {
+		if err := sh.Exec(bad); err == nil {
+			t.Errorf("command %q should fail", bad)
+		}
+	}
+}
+
+func TestNonStrictContinuesAfterError(t *testing.T) {
+	var out strings.Builder
+	sh := New(&out)
+	n, err := sh.Run(strings.NewReader("mkfs -nodes 4\nbogus\nput /a 64\n"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("executed %d commands, want 3", n)
+	}
+	if !strings.Contains(out.String(), "error: unknown command") {
+		t.Fatal("error not reported")
+	}
+	if sh.FS() == nil || len(sh.FS().Files()) != 1 {
+		t.Fatal("later commands did not run")
+	}
+}
+
+func TestRackedMkfs(t *testing.T) {
+	out, err := run(t, "mkfs -nodes 8 -racks 2 -replication 2 -seed 4\nput /a 64\nstat /a\n")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "replication 2, 2 racks") {
+		t.Fatalf("mkfs options lost:\n%s", out)
+	}
+}
+
+func TestMvCommand(t *testing.T) {
+	out, err := run(t, "mkfs -nodes 4 -seed 9\nput /a 64\nmv /a /b\nls\n")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "renamed /a -> /b") || !strings.Contains(out, "/b") {
+		t.Fatalf("mv output:\n%s", out)
+	}
+	var sb strings.Builder
+	sh := New(&sb)
+	sh.Exec("mkfs -nodes 4")
+	if err := sh.Exec("mv /missing /x"); err == nil {
+		t.Fatal("mv of missing file must fail")
+	}
+	if err := sh.Exec("mv /only-one"); err == nil {
+		t.Fatal("mv with one arg must fail")
+	}
+}

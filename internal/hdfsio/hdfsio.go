@@ -1,0 +1,175 @@
+// Package hdfsio is the I/O virtual translation layer of §II-A: it maps
+// POSIX-style file descriptor operations (open/read/pread/lseek/close) and
+// an MPI-IO-flavored collective read onto the libhdfs-style client of the
+// dfs package, the second of the two access methods the paper describes
+// ("use an I/O virtual translation layer to translate the parallel I/O
+// operations, e.g POSIX I/O or MPI-I/O, into hdfs I/O operations").
+package hdfsio
+
+import (
+	"fmt"
+	"io"
+
+	"opass/internal/dfs"
+)
+
+// Open flags, POSIX-style.
+const (
+	// ORdonly opens an existing file for reading.
+	ORdonly = 0
+	// OWronly creates a new file for writing.
+	OWronly = 1
+)
+
+// FileInfo is the stat result, mirroring hdfsFileInfo.
+type FileInfo struct {
+	Name      string
+	SizeBytes int64
+	Chunks    int
+	Replicas  int
+}
+
+// VFS is a per-process file-descriptor table over one DFS client. It is
+// what a POSIX shim linked into an MPI rank would hold.
+type VFS struct {
+	client  *dfs.Client
+	nextFD  int
+	readers map[int]*dfs.FileReader
+	writers map[int]*dfs.FileWriter
+	names   map[int]string
+}
+
+// New builds a VFS over the client.
+func New(client *dfs.Client) *VFS {
+	return &VFS{
+		client:  client,
+		nextFD:  3, // 0..2 are conventionally stdio
+		readers: map[int]*dfs.FileReader{},
+		writers: map[int]*dfs.FileWriter{},
+		names:   map[int]string{},
+	}
+}
+
+// Open opens path with the given flags and returns a file descriptor.
+func (v *VFS) Open(path string, flags int) (int, error) {
+	fd := v.nextFD
+	switch flags {
+	case ORdonly:
+		r, err := v.client.Open(path)
+		if err != nil {
+			return -1, err
+		}
+		v.readers[fd] = r
+	case OWronly:
+		w, err := v.client.Create(path)
+		if err != nil {
+			return -1, err
+		}
+		v.writers[fd] = w
+	default:
+		return -1, fmt.Errorf("hdfsio: unsupported flags %#x", flags)
+	}
+	v.names[fd] = path
+	v.nextFD++
+	return fd, nil
+}
+
+// Read reads up to len(p) bytes at the descriptor's cursor.
+func (v *VFS) Read(fd int, p []byte) (int, error) {
+	r, ok := v.readers[fd]
+	if !ok {
+		return 0, fmt.Errorf("hdfsio: fd %d not open for reading", fd)
+	}
+	return r.Read(p)
+}
+
+// Pread reads at an explicit offset without moving the cursor.
+func (v *VFS) Pread(fd int, p []byte, off int64) (int, error) {
+	r, ok := v.readers[fd]
+	if !ok {
+		return 0, fmt.Errorf("hdfsio: fd %d not open for reading", fd)
+	}
+	return r.ReadAt(p, off)
+}
+
+// Write appends to a descriptor opened with OWronly.
+func (v *VFS) Write(fd int, p []byte) (int, error) {
+	w, ok := v.writers[fd]
+	if !ok {
+		return 0, fmt.Errorf("hdfsio: fd %d not open for writing", fd)
+	}
+	return w.Write(p)
+}
+
+// Lseek repositions a read descriptor.
+func (v *VFS) Lseek(fd int, off int64, whence int) (int64, error) {
+	r, ok := v.readers[fd]
+	if !ok {
+		return 0, fmt.Errorf("hdfsio: fd %d not open for reading", fd)
+	}
+	return r.Seek(off, whence)
+}
+
+// Fstat describes an open read descriptor.
+func (v *VFS) Fstat(fd int) (FileInfo, error) {
+	r, ok := v.readers[fd]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("hdfsio: fd %d not open for reading", fd)
+	}
+	name := v.names[fd]
+	return FileInfo{
+		Name:      name,
+		SizeBytes: r.Size(),
+	}, nil
+}
+
+// Close releases a descriptor.
+func (v *VFS) Close(fd int) error {
+	if r, ok := v.readers[fd]; ok {
+		delete(v.readers, fd)
+		delete(v.names, fd)
+		return r.Close()
+	}
+	if w, ok := v.writers[fd]; ok {
+		delete(v.writers, fd)
+		delete(v.names, fd)
+		return w.Close()
+	}
+	return fmt.Errorf("hdfsio: close of unknown fd %d", fd)
+}
+
+// OpenFDs reports the number of live descriptors (leak checks in tests).
+func (v *VFS) OpenFDs() int { return len(v.readers) + len(v.writers) }
+
+// Stats exposes a read descriptor's locality accounting.
+func (v *VFS) Stats(fd int) (dfs.ReadStats, error) {
+	r, ok := v.readers[fd]
+	if !ok {
+		return dfs.ReadStats{}, fmt.Errorf("hdfsio: fd %d not open for reading", fd)
+	}
+	return r.Stats(), nil
+}
+
+// ReadAtAll is the MPI-IO-flavored collective read: rank i of nprocs reads
+// its contiguous share of the file, computed with the §II-B interval
+// formula [i*size/n, (i+1)*size/n) that ParaView-style static assignment
+// uses. It returns the rank's bytes and its locality stats.
+func ReadAtAll(client *dfs.Client, path string, rank, nprocs int) ([]byte, dfs.ReadStats, error) {
+	if nprocs <= 0 || rank < 0 || rank >= nprocs {
+		return nil, dfs.ReadStats{}, fmt.Errorf("hdfsio: invalid rank %d of %d", rank, nprocs)
+	}
+	r, err := client.Open(path)
+	if err != nil {
+		return nil, dfs.ReadStats{}, err
+	}
+	defer r.Close()
+	size := r.Size()
+	lo := int64(rank) * size / int64(nprocs)
+	hi := int64(rank+1) * size / int64(nprocs)
+	buf := make([]byte, hi-lo)
+	n, err := r.ReadAt(buf, lo)
+	if err != nil && err != io.EOF {
+		return nil, dfs.ReadStats{}, err
+	}
+	return buf[:n], r.Stats(), nil
+}

@@ -1,0 +1,202 @@
+package hdfsio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+type view struct{ n int }
+
+func (v view) NumNodes() int    { return v.n }
+func (v view) RackOf(i int) int { return 0 }
+
+func newFS(t testing.TB, nodes int, seed int64) *dfs.FileSystem {
+	t.Helper()
+	return dfs.New(view{nodes}, dfs.Config{Seed: seed, ChunkSizeMB: 1.0 / 1024}) // 1 KiB chunks
+}
+
+func TestPosixWriteThenRead(t *testing.T) {
+	fs := newFS(t, 8, 1)
+	v := New(fs.Client(0))
+
+	wfd, err := v.Open("/f", OWronly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hdfsio"), 700) // ~4.2 KiB, several chunks
+	if n, err := v.Write(wfd, payload); err != nil || n != len(payload) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if err := v.Close(wfd); err != nil {
+		t.Fatal(err)
+	}
+
+	rfd, err := v.Open("/f", ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := v.Fstat(rfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.SizeBytes != int64(len(payload)) {
+		t.Fatalf("fstat size = %d, want %d", fi.SizeBytes, len(payload))
+	}
+	got := make([]byte, len(payload))
+	read := 0
+	for read < len(got) {
+		n, err := v.Read(rfd, got[read:])
+		read += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got[:read], payload) {
+		t.Fatal("posix round trip mismatch")
+	}
+	if err := v.Close(rfd); err != nil {
+		t.Fatal(err)
+	}
+	if v.OpenFDs() != 0 {
+		t.Fatalf("fd leak: %d", v.OpenFDs())
+	}
+}
+
+func TestPreadAndLseek(t *testing.T) {
+	fs := newFS(t, 8, 2)
+	fs.Create("/f", 0.01) // ~10 KiB synthetic
+	v := New(fs.Client(0))
+	fd, err := v.Open("/f", ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close(fd)
+
+	a := make([]byte, 100)
+	if _, err := v.Pread(fd, a, 500); err != nil {
+		t.Fatal(err)
+	}
+	// Pread must not move the cursor.
+	b := make([]byte, 100)
+	if _, err := v.Read(fd, b); err != nil {
+		t.Fatal(err)
+	}
+	c := make([]byte, 100)
+	if _, err := v.Pread(fd, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, c) {
+		t.Fatal("Pread moved the cursor")
+	}
+	// Lseek + Read equals Pread at the same offset.
+	if _, err := v.Lseek(fd, 500, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	d := make([]byte, 100)
+	if _, err := v.Read(fd, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, d) {
+		t.Fatal("lseek+read != pread")
+	}
+}
+
+func TestBadDescriptors(t *testing.T) {
+	fs := newFS(t, 4, 3)
+	fs.Create("/f", 0.001)
+	v := New(fs.Client(0))
+	if _, err := v.Read(99, make([]byte, 4)); err == nil {
+		t.Fatal("read from bad fd must fail")
+	}
+	if _, err := v.Write(99, []byte("x")); err == nil {
+		t.Fatal("write to bad fd must fail")
+	}
+	if err := v.Close(99); err == nil {
+		t.Fatal("close of bad fd must fail")
+	}
+	if _, err := v.Open("/f", 42); err == nil {
+		t.Fatal("bad flags must fail")
+	}
+	fd, _ := v.Open("/f", ORdonly)
+	if _, err := v.Write(fd, []byte("x")); err == nil {
+		t.Fatal("write to read fd must fail")
+	}
+	if _, err := v.Lseek(999, 0, io.SeekStart); err == nil {
+		t.Fatal("lseek on bad fd must fail")
+	}
+	if _, err := v.Fstat(999); err == nil {
+		t.Fatal("fstat on bad fd must fail")
+	}
+	if _, err := v.Stats(999); err == nil {
+		t.Fatal("stats on bad fd must fail")
+	}
+}
+
+func TestReadAtAllPartitions(t *testing.T) {
+	fs := newFS(t, 8, 4)
+	// Write known content so partitions can be verified.
+	w, _ := fs.Client(-1).Create("/f")
+	payload := make([]byte, 8000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	w.Write(payload)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const nprocs = 4
+	var joined []byte
+	for rank := 0; rank < nprocs; rank++ {
+		part, stats, err := ReadAtAll(fs.Client(rank), "/f", rank, nprocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part) != 2000 {
+			t.Fatalf("rank %d got %d bytes, want 2000", rank, len(part))
+		}
+		if stats.LocalBytes+stats.RemoteBytes != 2000 {
+			t.Fatalf("rank %d stats don't cover the partition: %+v", rank, stats)
+		}
+		joined = append(joined, part...)
+	}
+	if !bytes.Equal(joined, payload) {
+		t.Fatal("collective read does not reassemble the file")
+	}
+}
+
+func TestReadAtAllValidation(t *testing.T) {
+	fs := newFS(t, 4, 5)
+	fs.Create("/f", 0.01)
+	if _, _, err := ReadAtAll(fs.Client(0), "/f", 5, 4); err == nil {
+		t.Fatal("rank out of range must fail")
+	}
+	if _, _, err := ReadAtAll(fs.Client(0), "/f", 0, 0); err == nil {
+		t.Fatal("zero procs must fail")
+	}
+	if _, _, err := ReadAtAll(fs.Client(0), "/missing", 0, 2); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestStatsSurfaceLocality(t *testing.T) {
+	fs := newFS(t, 8, 6)
+	fs.Create("/f", 0.004)
+	v := New(fs.Client(0))
+	fd, _ := v.Open("/f", ORdonly)
+	defer v.Close(fd)
+	buf := make([]byte, 4096)
+	v.Read(fd, buf)
+	st, err := v.Stats(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LocalBytes+st.RemoteBytes == 0 {
+		t.Fatal("stats recorded nothing")
+	}
+}

@@ -1,0 +1,261 @@
+// Package httpapi exposes the Opass planners as a JSON-over-HTTP service —
+// the integration surface a real deployment would use: an application (or
+// its job submitter) posts the block layout it read from its namenode plus
+// its task list, and receives the task→process assignment to execute. A
+// second endpoint runs the full cluster simulation on the submitted layout,
+// so capacity questions ("what would this job's makespan be?") can be
+// answered without touching the cluster.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	POST /v1/plan      compute an assignment for a submitted layout
+//	POST /v1/simulate  plan + simulate execution, returning trace statistics
+//
+// The service is stateless; every request carries its complete layout.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+	"opass/internal/traceio"
+)
+
+// InputSpec is one data dependency of a task: its size and the nodes
+// holding a replica (as reported by the namenode).
+type InputSpec struct {
+	SizeMB   float64 `json:"size_mb"`
+	Replicas []int   `json:"replicas"`
+}
+
+// TaskSpec is one data-processing task.
+type TaskSpec struct {
+	Inputs []InputSpec `json:"inputs"`
+}
+
+// PlanRequest is the body of POST /v1/plan and /v1/simulate.
+type PlanRequest struct {
+	// Nodes is the cluster size; processes default to one per node
+	// (ProcNodes overrides placement of process rank i).
+	Nodes     int        `json:"nodes"`
+	ProcNodes []int      `json:"proc_nodes,omitempty"`
+	Strategy  string     `json:"strategy,omitempty"` // opass | rank | random | greedy
+	Seed      int64      `json:"seed,omitempty"`
+	Tasks     []TaskSpec `json:"tasks"`
+}
+
+// PlanResponse is the body returned by POST /v1/plan.
+type PlanResponse struct {
+	Strategy string  `json:"strategy"`
+	Owner    []int   `json:"owner"`
+	Lists    [][]int `json:"lists"`
+	// LocalityFraction is the fraction of input bytes co-located with their
+	// assigned process.
+	LocalityFraction float64 `json:"locality_fraction"`
+	PlannerMillis    float64 `json:"planner_ms"`
+}
+
+// SimulateResponse is the body returned by POST /v1/simulate.
+type SimulateResponse struct {
+	Plan    PlanResponse    `json:"plan"`
+	Summary traceio.Summary `json:"summary"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		req, prob, status, err := decodeProblem(r)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		resp, _, status, err := plan(req, prob)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		req, prob, status, err := decodeProblem(r)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		resp, assignment, status, err := plan(req, prob)
+		if err != nil {
+			writeJSON(w, status, errorBody{Error: err.Error()})
+			return
+		}
+		topo := cluster.New(req.Nodes, cluster.Marmot())
+		// Rebuild the problem against the simulation topology (the layout
+		// FS carries no hardware).
+		res, err := engine.RunAssignment(engine.Options{
+			Topo: topo, FS: prob.FS, Problem: prob, Strategy: resp.Strategy,
+		}, assignment)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SimulateResponse{Plan: resp, Summary: traceio.Summarize(res)})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// layoutView is the minimal cluster view for a submitted layout.
+type layoutView struct{ n int }
+
+func (v layoutView) NumNodes() int  { return v.n }
+func (v layoutView) RackOf(int) int { return 0 }
+
+// decodeProblem parses and validates a request into a core.Problem backed
+// by an in-memory file system that mirrors the submitted block layout.
+func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
+	var req PlanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Nodes <= 0 {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("nodes must be positive")
+	}
+	if len(req.Tasks) == 0 {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("tasks must be non-empty")
+	}
+	procNodes := req.ProcNodes
+	if len(procNodes) == 0 {
+		procNodes = make([]int, req.Nodes)
+		for i := range procNodes {
+			procNodes[i] = i
+		}
+	}
+	for _, n := range procNodes {
+		if n < 0 || n >= req.Nodes {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("proc_nodes entry %d outside [0,%d)", n, req.Nodes)
+		}
+	}
+	// Mirror the layout into an in-memory FS: each input becomes a chunk
+	// created with its first replica, then the remaining replicas are added
+	// (per-input replica counts may differ, unlike a Config-level factor).
+	var firstReps [][]int
+	for _, task := range req.Tasks {
+		for _, in := range task.Inputs {
+			if len(in.Replicas) > 0 {
+				firstReps = append(firstReps, []int{in.Replicas[0]})
+			} else {
+				firstReps = append(firstReps, []int{0}) // rejected below
+			}
+		}
+	}
+	fs := dfs.New(layoutView{req.Nodes}, dfs.Config{
+		Replication: 1,
+		Placement:   dfs.FixedPlacement{Replicas: firstReps},
+	})
+	prob := &core.Problem{ProcNode: procNodes, FS: fs}
+	for ti, task := range req.Tasks {
+		if len(task.Inputs) == 0 {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d has no inputs", ti)
+		}
+		coreTask := core.Task{ID: ti}
+		for ii, in := range task.Inputs {
+			if in.SizeMB <= 0 {
+				return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: size_mb must be positive", ti, ii)
+			}
+			if len(in.Replicas) == 0 {
+				return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: replicas must be non-empty", ti, ii)
+			}
+			seen := map[int]bool{}
+			for _, rep := range in.Replicas {
+				if rep < 0 || rep >= req.Nodes {
+					return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: replica node %d outside cluster", ti, ii, rep)
+				}
+				if seen[rep] {
+					return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: duplicate replica node %d", ti, ii, rep)
+				}
+				seen[rep] = true
+			}
+			f, err := fs.CreateChunks(fmt.Sprintf("/layout/t%d/i%d", ti, ii), []float64{in.SizeMB})
+			if err != nil {
+				return nil, nil, http.StatusInternalServerError, err
+			}
+			id := f.Chunks[0]
+			for _, rep := range in.Replicas[1:] {
+				if err := fs.AddReplica(id, rep); err != nil {
+					return nil, nil, http.StatusInternalServerError, err
+				}
+			}
+			coreTask.Inputs = append(coreTask.Inputs, core.Input{Chunk: id, SizeMB: in.SizeMB})
+		}
+		prob.Tasks = append(prob.Tasks, coreTask)
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	return &req, prob, http.StatusOK, nil
+}
+
+// plan runs the requested strategy over the decoded problem.
+func plan(req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, int, error) {
+	multi := false
+	for i := range prob.Tasks {
+		if len(prob.Tasks[i].Inputs) > 1 {
+			multi = true
+			break
+		}
+	}
+	var assigner core.Assigner
+	switch req.Strategy {
+	case "", "opass":
+		if multi {
+			assigner = core.MultiData{Seed: req.Seed}
+		} else {
+			assigner = core.SingleData{Seed: req.Seed}
+		}
+	case "rank":
+		assigner = core.RankStatic{}
+	case "random":
+		assigner = core.RandomStatic{Seed: req.Seed}
+	case "greedy":
+		assigner = core.GreedyLocality{Seed: req.Seed}
+	default:
+		return PlanResponse{}, nil, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+	start := time.Now()
+	a, err := assigner.Assign(prob)
+	if err != nil {
+		return PlanResponse{}, nil, http.StatusInternalServerError, err
+	}
+	return PlanResponse{
+		Strategy:         assigner.Name(),
+		Owner:            a.Owner,
+		Lists:            a.Lists,
+		LocalityFraction: a.LocalityFraction(),
+		PlannerMillis:    float64(time.Since(start).Microseconds()) / 1000,
+	}, a, http.StatusOK, nil
+}

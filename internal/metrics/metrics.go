@@ -1,0 +1,231 @@
+// Package metrics computes the statistics the paper reports: per-request
+// I/O time summaries (average, maximum, minimum, standard deviation — the
+// three metrics of Figures 7–11), per-node served-data loads (the balance
+// metric of Figures 1, 8 and 10), Jain's fairness index as an aggregate
+// balance score, and simple histograms and traces for figure regeneration.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Summary holds the distribution statistics of a sample.
+type Summary struct {
+	Count  int
+	Sum    float64
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	if len(xs) == 0 {
+		return s
+	}
+	s.Count = len(xs)
+	s.Min = math.Inf(1)
+	s.Max = math.Inf(-1)
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	return s
+}
+
+// Spread is the max/min ratio the paper quotes ("the maximum I/O time is 9X
+// that of the minimum"). It returns +Inf when Min is zero and the sample is
+// non-empty.
+func (s Summary) Spread() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if s.Min == 0 {
+		return math.Inf(1)
+	}
+	return s.Max / s.Min
+}
+
+// String renders the summary in bench-harness row format.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f", s.Count, s.Mean, s.Min, s.Max, s.StdDev)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank on a sorted copy. It panics on an empty sample or a
+// percentile outside [0,100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of range", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// JainIndex computes Jain's fairness index sum(x)^2 / (n*sum(x^2)): 1.0 for
+// a perfectly balanced load vector, approaching 1/n as the load concentrates
+// on one node.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1 // all zero: trivially balanced
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Histogram buckets values into equal-width bins over [lo, hi); values
+// outside the range clamp to the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+}
+
+// NewHistogram creates a histogram with n bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: bad histogram range [%v,%v) with %d bins", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Total reports the number of observations recorded.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// CDF returns the cumulative fraction at each bin upper edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Bins))
+	total := h.Total()
+	if total == 0 {
+		return out
+	}
+	run := 0
+	for i, b := range h.Bins {
+		run += b
+		out[i] = float64(run) / float64(total)
+	}
+	return out
+}
+
+// BootstrapCI estimates a two-sided confidence interval for the mean of xs
+// by resampling (percentile bootstrap): resamples draws with replacement,
+// confidence in (0,1), rng seeded by the caller for reproducibility. It
+// panics on an empty sample or out-of-range confidence.
+func BootstrapCI(xs []float64, resamples int, confidence float64, seed int64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("metrics: bootstrap of empty sample")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic(fmt.Sprintf("metrics: confidence %v out of (0,1)", confidence))
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for i := range means {
+		var s float64
+		for j := 0; j < len(xs); j++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[i] = s / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx]
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series (e.g. per-read completion times in
+// trace order, as plotted in Figures 7c, 9, 11 and 12).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{T: t, V: v}) }
+
+// Values extracts the V column.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Downsample reduces the series to at most n points by striding, preserving
+// the last point — enough fidelity for terminal plots of long traces.
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.Points) <= n {
+		return append([]Point(nil), s.Points...)
+	}
+	stride := float64(len(s.Points)) / float64(n)
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Points[int(float64(i)*stride)])
+	}
+	out[len(out)-1] = s.Points[len(s.Points)-1]
+	return out
+}

@@ -1,0 +1,168 @@
+package mpi
+
+import "fmt"
+
+// This file implements the collective operations the paper's applications
+// lean on (§II-B: "processes can simultaneously issue a large number of
+// data read requests... due to the synchronization requirement"): broadcast
+// of the meta-file, scatter of assignments, gather/reduce of results. All
+// collectives are built from the point-to-point primitives with binomial
+// trees, so their cost is carried by the same simulated NICs as everything
+// else. Every rank must call the collective with matching arguments, as in
+// MPI.
+
+// Collective message tags live in reserved ranges far above user tags
+// (each range leaves room for a per-rank or per-round offset).
+const (
+	tagBcast   = 1 << 20
+	tagScatter = 2 << 20
+	tagGather  = 3 << 20
+	tagReduce  = 4 << 20
+)
+
+// Bcast distributes value (with a payload of sizeMB) from root to every
+// rank along a binomial tree; it returns the value on all ranks.
+func (r *Rank) Bcast(root int, sizeMB, value float64) float64 {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vrank := (r.id - root + size) % size
+	got := value
+	if vrank != 0 {
+		// Receive from the parent in the binomial tree.
+		got = r.Recv(AnySource, tagBcast)
+	}
+	// Forward to children: at step k every rank v < 2^k sends to v + 2^k
+	// (the standard binomial schedule: 0→1; 0→2,1→3; 0→4,1→5,2→6,3→7; ...).
+	for bit := 1; bit < size; bit <<= 1 {
+		if vrank < bit {
+			child := vrank + bit
+			if child < size {
+				r.Send((child+root)%size, tagBcast, sizeMB, got)
+			}
+		}
+	}
+	return got
+}
+
+// Gather collects one value from every rank at root (payload sizeMB per
+// contribution). The returned slice, indexed by rank, is only meaningful at
+// root; other ranks receive nil.
+func (r *Rank) Gather(root int, sizeMB, value float64) []float64 {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: gather root %d out of range", root))
+	}
+	if r.id != root {
+		r.Send(root, tagGather+r.id, sizeMB, value)
+		return nil
+	}
+	out := make([]float64, size)
+	out[root] = value
+	for rank := 0; rank < size; rank++ {
+		if rank == root {
+			continue
+		}
+		out[rank] = r.Recv(rank, tagGather+rank)
+	}
+	return out
+}
+
+// Scatter sends values[i] (payload sizeMB each) from root to rank i and
+// returns this rank's element. values is only read at root and must have
+// one element per rank there.
+func (r *Rank) Scatter(root int, sizeMB float64, values []float64) float64 {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: scatter root %d out of range", root))
+	}
+	if r.id == root {
+		if len(values) != size {
+			panic(fmt.Sprintf("mpi: scatter needs %d values, got %d", size, len(values)))
+		}
+		for rank := 0; rank < size; rank++ {
+			if rank == root {
+				continue
+			}
+			r.Send(rank, tagScatter+rank, sizeMB, values[rank])
+		}
+		return values[root]
+	}
+	return r.Recv(root, tagScatter+r.id)
+}
+
+// ReduceOp combines two values in a Reduce.
+type ReduceOp func(a, b float64) float64
+
+// Sum, Max and Min are the common reduction operators.
+var (
+	Sum ReduceOp = func(a, b float64) float64 { return a + b }
+	Max ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	Min ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Allreduce combines every rank's value with op and delivers the result to
+// all ranks (Reduce to rank 0 followed by a broadcast, the classic
+// implementation).
+func (r *Rank) Allreduce(sizeMB, value float64, op ReduceOp) float64 {
+	total := r.Reduce(0, sizeMB, value, op)
+	if r.id != 0 {
+		total = 0 // only rank 0's reduction result is authoritative
+	}
+	return r.Bcast(0, sizeMB, total)
+}
+
+// Allgather collects one value from every rank and delivers the full
+// vector to all ranks (Gather at rank 0, then a broadcast per slot —
+// simple, and the per-slot payloads ride the same simulated NICs).
+func (r *Rank) Allgather(sizeMB, value float64) []float64 {
+	gathered := r.Gather(0, sizeMB, value)
+	size := r.Size()
+	out := make([]float64, size)
+	for rank := 0; rank < size; rank++ {
+		var v float64
+		if r.id == 0 {
+			v = gathered[rank]
+		}
+		out[rank] = r.Bcast(0, sizeMB, v)
+	}
+	return out
+}
+
+// Reduce combines every rank's value with op at root (payload sizeMB per
+// message) and returns the result at root (other ranks receive their
+// partial, which callers should ignore). A binomial reduction tree halves
+// the active ranks each round.
+func (r *Rank) Reduce(root int, sizeMB, value float64, op ReduceOp) float64 {
+	size := r.Size()
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	vrank := (r.id - root + size) % size
+	acc := value
+	for bit := 1; bit < size; bit <<= 1 {
+		if vrank&bit != 0 {
+			// Send the partial to the partner below and exit the tree.
+			partner := vrank - bit
+			r.Send((partner+root)%size, tagReduce+int(bit), sizeMB, acc)
+			return acc
+		}
+		partner := vrank + bit
+		if partner < size {
+			acc = op(acc, r.Recv((partner+root)%size, tagReduce+int(bit)))
+		}
+	}
+	return acc
+}

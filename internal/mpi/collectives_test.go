@@ -1,0 +1,265 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBcastDeliversToAll(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		w, _ := world(t, size, 21)
+		var mu sync.Mutex
+		got := map[int]float64{}
+		_, err := w.Run(func(r *Rank) {
+			v := -1.0
+			if r.ID() == 0 {
+				v = 42
+			}
+			out := r.Bcast(0, 0.001, v)
+			mu.Lock()
+			got[r.ID()] = out
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for rank := 0; rank < size; rank++ {
+			if got[rank] != 42 {
+				t.Fatalf("size %d: rank %d got %v", size, rank, got[rank])
+			}
+		}
+	}
+}
+
+func TestBcastNonZeroRoot(t *testing.T) {
+	w, _ := world(t, 6, 22)
+	var mu sync.Mutex
+	got := map[int]float64{}
+	_, err := w.Run(func(r *Rank) {
+		v := 0.0
+		if r.ID() == 3 {
+			v = 7
+		}
+		out := r.Bcast(3, 0.001, v)
+		mu.Lock()
+		got[r.ID()] = out
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, v := range got {
+		if v != 7 {
+			t.Fatalf("rank %d got %v", rank, v)
+		}
+	}
+}
+
+func TestBcastBandwidthCost(t *testing.T) {
+	// Broadcasting 117 MB over 117 MB/s NICs with a binomial tree over 8
+	// ranks takes ~3 rounds of ~1 s each (leaf paths traverse 3 hops).
+	w, _ := world(t, 8, 23)
+	end, err := w.Run(func(r *Rank) {
+		r.Bcast(0, 117, float64(r.ID()))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end < 2.5 || end > 4.5 {
+		t.Fatalf("binomial bcast of 117 MB over 8 ranks took %v, want ~3s", end)
+	}
+}
+
+func TestGatherCollectsAll(t *testing.T) {
+	w, _ := world(t, 7, 24)
+	var got []float64
+	_, err := w.Run(func(r *Rank) {
+		out := r.Gather(0, 0.001, float64(r.ID()*r.ID()))
+		if r.ID() == 0 {
+			got = out
+		} else if out != nil {
+			t.Error("non-root gather result must be nil")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("gathered %d values", len(got))
+	}
+	for rank, v := range got {
+		if v != float64(rank*rank) {
+			t.Fatalf("slot %d = %v", rank, v)
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	w, _ := world(t, 5, 25)
+	var mu sync.Mutex
+	got := map[int]float64{}
+	_, err := w.Run(func(r *Rank) {
+		var values []float64
+		if r.ID() == 2 {
+			values = []float64{10, 11, 12, 13, 14}
+		}
+		v := r.Scatter(2, 0.001, values)
+		mu.Lock()
+		got[r.ID()] = v
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 5; rank++ {
+		if got[rank] != float64(10+rank) {
+			t.Fatalf("rank %d got %v", rank, got[rank])
+		}
+	}
+}
+
+func TestReduceOperators(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		want float64
+	}{
+		{Sum, 0 + 1 + 2 + 3 + 4 + 5},
+		{Max, 5},
+		{Min, 0},
+	}
+	for i, tc := range cases {
+		w, _ := world(t, 6, int64(26+i))
+		var got float64
+		_, err := w.Run(func(r *Rank) {
+			out := r.Reduce(0, 0.001, float64(r.ID()), tc.op)
+			if r.ID() == 0 {
+				got = out
+			}
+		})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("case %d: reduce = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	w, _ := world(t, 5, 29)
+	var got float64
+	_, err := w.Run(func(r *Rank) {
+		out := r.Reduce(4, 0.001, 1, Sum)
+		if r.ID() == 4 {
+			got = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("sum = %v, want 5", got)
+	}
+}
+
+func TestCollectivesCompose(t *testing.T) {
+	// The §II-B SPMD skeleton: root broadcasts the file count, every rank
+	// computes its interval, reduces the total back, then barriers.
+	w, fs := world(t, 8, 30)
+	f, err := fs.Create("/meta", 64*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	_, err = w.Run(func(r *Rank) {
+		n := r.Bcast(0, 0.001, float64(len(f.Chunks)))
+		lo := r.ID() * int(n) / r.Size()
+		hi := (r.ID() + 1) * int(n) / r.Size()
+		for i := lo; i < hi; i++ {
+			r.ReadChunk(f.Chunks[i])
+		}
+		sum := r.Reduce(0, 0.001, float64(hi-lo), Sum)
+		if r.ID() == 0 {
+			total = sum
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 {
+		t.Fatalf("reduced task count %v, want 16", total)
+	}
+	if len(w.Reads()) != 16 {
+		t.Fatalf("reads = %d", len(w.Reads()))
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	w, _ := world(t, 2, 31)
+	_, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			defer func() { recover() }()
+			r.Bcast(9, 0, 0) // bad root panics
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := world(t, 2, 32)
+	_, err = w2.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Scatter(0, 0.001, []float64{1}) // wrong length panics
+		}
+	})
+	if err == nil {
+		t.Fatal("scatter with wrong value count must surface an error")
+	}
+}
+
+func TestAllreduceDeliversEverywhere(t *testing.T) {
+	w, _ := world(t, 6, 33)
+	var mu sync.Mutex
+	got := map[int]float64{}
+	_, err := w.Run(func(r *Rank) {
+		v := r.Allreduce(0.001, float64(r.ID()+1), Sum)
+		mu.Lock()
+		got[r.ID()] = v
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 6; rank++ {
+		if got[rank] != 21 { // 1+2+...+6
+			t.Fatalf("rank %d allreduce = %v, want 21", rank, got[rank])
+		}
+	}
+}
+
+func TestAllgatherDeliversVector(t *testing.T) {
+	w, _ := world(t, 4, 34)
+	var mu sync.Mutex
+	got := map[int][]float64{}
+	_, err := w.Run(func(r *Rank) {
+		v := r.Allgather(0.001, float64(r.ID()*10))
+		mu.Lock()
+		got[r.ID()] = v
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 4; rank++ {
+		v := got[rank]
+		if len(v) != 4 {
+			t.Fatalf("rank %d got %d values", rank, len(v))
+		}
+		for i, x := range v {
+			if x != float64(i*10) {
+				t.Fatalf("rank %d slot %d = %v", rank, i, x)
+			}
+		}
+	}
+}

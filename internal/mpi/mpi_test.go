@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"opass/internal/cluster"
+	"opass/internal/dfs"
+)
+
+func world(t testing.TB, nodes int, seed int64) (*World, *dfs.FileSystem) {
+	t.Helper()
+	topo := cluster.New(nodes, cluster.Marmot())
+	fs := dfs.New(topo, dfs.Config{Seed: seed})
+	ranks := make([]int, nodes)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return NewWorld(topo, fs, ranks), fs
+}
+
+func TestComputeAdvancesVirtualTime(t *testing.T) {
+	w, _ := world(t, 4, 1)
+	end, err := w.Run(func(r *Rank) {
+		r.Compute(2.5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All ranks compute in parallel: world time is 2.5s, not 10s.
+	if math.Abs(end-2.5) > 1e-6 {
+		t.Fatalf("end = %v, want 2.5", end)
+	}
+}
+
+func TestSendRecvTransfersData(t *testing.T) {
+	w, _ := world(t, 2, 2)
+	var got float64
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, 117, 42) // 117 MB over a 117 MB/s NIC: ~1s
+		} else {
+			got = r.Recv(0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("received value %v, want 42", got)
+	}
+	if end < 0.9 || end > 1.2 {
+		t.Fatalf("transfer time %v, want ~1s", end)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	w, _ := world(t, 3, 3)
+	var mu sync.Mutex
+	received := 0
+	_, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 2; i++ {
+				r.Recv(AnySource, 1)
+				mu.Lock()
+				received++
+				mu.Unlock()
+			}
+		} else {
+			r.Send(0, 1, 0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if received != 2 {
+		t.Fatalf("received %d messages, want 2", received)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w, _ := world(t, 4, 4)
+	var mu sync.Mutex
+	var after []float64
+	_, err := w.Run(func(r *Rank) {
+		r.Compute(float64(r.ID())) // ranks finish at 0,1,2,3 s
+		r.Barrier()
+		mu.Lock()
+		after = append(after, r.Now())
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone leaves the barrier at t=3 (the slowest rank).
+	for _, ts := range after {
+		if math.Abs(ts-3.0) > 1e-6 {
+			t.Fatalf("rank left barrier at %v, want 3.0", ts)
+		}
+	}
+}
+
+func TestReadChunkRecordsAndTimes(t *testing.T) {
+	w, fs := world(t, 4, 5)
+	f, err := fs.Create("/data", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := f.Chunks[0]
+	reader := fs.Chunk(chunk).Replicas[0] // co-located rank
+	end, err := w.Run(func(r *Rank) {
+		if r.ID() == reader {
+			r.ReadChunk(chunk)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-0.868) > 0.01 {
+		t.Fatalf("local 64 MB read took %v, want ~0.87", end)
+	}
+	recs := w.Reads()
+	if len(recs) != 1 || !recs[0].Local || recs[0].Rank != reader {
+		t.Fatalf("read records: %+v", recs)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	w, _ := world(t, 2, 6)
+	_, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 9) // never sent
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestMasterWorkerProtocol(t *testing.T) {
+	// The proper protocol: master replies on a single tag; a negative task
+	// ID means stop. Exactly the §IV-D dispatch loop over real messages.
+	w, fs := world(t, 5, 8)
+	f, err := fs.Create("/db", 64*12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		tagRequest = 1
+		tagReply   = 2
+	)
+	var mu sync.Mutex
+	executed := map[int]bool{}
+	_, err = w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			next, stopped := 0, 0
+			for stopped < r.Size()-1 {
+				src := int(r.Recv(AnySource, tagRequest))
+				if next < len(f.Chunks) {
+					r.Send(src, tagReply, 0.001, float64(next))
+					next++
+				} else {
+					r.Send(src, tagReply, 0.001, -1)
+					stopped++
+				}
+			}
+			return
+		}
+		for {
+			r.Send(0, tagRequest, 0.001, float64(r.ID()))
+			task := r.Recv(0, tagReply)
+			if task < 0 {
+				return
+			}
+			r.ReadChunk(f.Chunks[int(task)])
+			mu.Lock()
+			executed[int(task)] = true
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(executed) != 12 {
+		t.Fatalf("executed %d tasks, want 12", len(executed))
+	}
+	if len(w.Reads()) != 12 {
+		t.Fatalf("recorded %d reads, want 12", len(w.Reads()))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		w, fs := world(t, 8, 9)
+		f, _ := fs.Create("/d", 64*16)
+		end, err := w.Run(func(r *Rank) {
+			for i := r.ID(); i < len(f.Chunks); i += r.Size() {
+				r.ReadChunk(f.Chunks[i])
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	topo := cluster.New(2, cluster.Marmot())
+	for i, fn := range []func(){
+		func() { NewWorld(nil, nil, []int{0}) },
+		func() { NewWorld(topo, nil, nil) },
+		func() { NewWorld(topo, nil, []int{5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	w, _ := world(t, 2, 10)
+	_, err := w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(0, 1, 1, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("send-to-self must surface an error")
+	}
+}

@@ -1,0 +1,139 @@
+// Package traceio serializes experiment results to CSV and JSON so the
+// regenerated figures can be re-plotted outside the repository (gnuplot,
+// matplotlib, spreadsheets). The formats are deliberately plain: one row
+// per read for traces, one row per node for load profiles, and a JSON
+// envelope with the summary statistics the paper quotes.
+package traceio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"opass/internal/engine"
+	"opass/internal/metrics"
+)
+
+// WriteReadsCSV writes one row per chunk read: the Figure 7c/9/11/12 data.
+func WriteReadsCSV(w io.Writer, records []engine.ReadRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "proc", "task", "chunk", "src_node", "dst_node", "local", "size_mb", "start_s", "end_s", "duration_s"}); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	for i, r := range records {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(r.Proc),
+			strconv.Itoa(r.Task),
+			strconv.Itoa(int(r.Chunk)),
+			strconv.Itoa(r.SrcNode),
+			strconv.Itoa(r.DstNode),
+			strconv.FormatBool(r.Local),
+			fmtFloat(r.SizeMB),
+			fmtFloat(r.Start),
+			fmtFloat(r.End),
+			fmtFloat(r.Duration()),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNodeLoadCSV writes one row per node: the Figure 1a/8c/10 data.
+func WriteNodeLoadCSV(w io.Writer, servedMB []float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "served_mb"}); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	for n, mb := range servedMB {
+		if err := cw.Write([]string{strconv.Itoa(n), fmtFloat(mb)}); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary is the JSON envelope for one run.
+type Summary struct {
+	Strategy      string          `json:"strategy"`
+	Tasks         int             `json:"tasks"`
+	Makespan      float64         `json:"makespan_s"`
+	IO            metrics.Summary `json:"io_time_s"`
+	Served        metrics.Summary `json:"served_mb"`
+	LocalFraction float64         `json:"local_fraction"`
+	Fairness      float64         `json:"jain_fairness"`
+	Retries       int             `json:"retries,omitempty"`
+	FailedNodes   []int           `json:"failed_nodes,omitempty"`
+}
+
+// Summarize converts an engine result into the JSON envelope.
+func Summarize(res *engine.Result) Summary {
+	return Summary{
+		Strategy:      res.Strategy,
+		Tasks:         res.TasksRun,
+		Makespan:      res.Makespan,
+		IO:            metrics.Summarize(res.IOTimes()),
+		Served:        metrics.Summarize(res.ServedMB),
+		LocalFraction: res.LocalFraction(),
+		Fairness:      metrics.JainIndex(res.ServedMB),
+		Retries:       res.Retries,
+		FailedNodes:   res.FailedNodes,
+	}
+}
+
+// WriteSummaryJSON writes the envelope, indented for human diffing.
+func WriteSummaryJSON(w io.Writer, res *engine.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Summarize(res)); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	return nil
+}
+
+// ReadSummaryJSON parses an envelope written by WriteSummaryJSON — used by
+// regression tooling comparing two recorded runs.
+func ReadSummaryJSON(r io.Reader) (Summary, error) {
+	var s Summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("traceio: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSeriesCSV writes (x, y...) rows for multi-series figures such as the
+// Figure 3 CDFs. Every series must have the same length.
+func WriteSeriesCSV(w io.Writer, xHeader string, xs []float64, names []string, series [][]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("traceio: %d names for %d series", len(names), len(series))
+	}
+	for i, s := range series {
+		if len(s) != len(xs) {
+			return fmt.Errorf("traceio: series %q has %d points, want %d", names[i], len(s), len(xs))
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{xHeader}, names...)); err != nil {
+		return fmt.Errorf("traceio: %w", err)
+	}
+	for i, x := range xs {
+		row := make([]string, 0, 1+len(series))
+		row = append(row, fmtFloat(x))
+		for _, s := range series {
+			row = append(row, fmtFloat(s[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("traceio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+)
+
+func TestSingleSpecBuild(t *testing.T) {
+	rig, err := SingleSpec{Nodes: 8, ChunksPerProc: 10, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rig.Prob.Tasks); got != 80 {
+		t.Fatalf("tasks = %d, want 80", got)
+	}
+	if rig.FS.NumChunks() != 80 {
+		t.Fatalf("chunks = %d, want 80", rig.FS.NumChunks())
+	}
+	for _, task := range rig.Prob.Tasks {
+		if len(task.Inputs) != 1 || task.Inputs[0].SizeMB != 64 {
+			t.Fatalf("bad task shape: %+v", task)
+		}
+	}
+	if rig.Topo.NumNodes() != 8 {
+		t.Fatalf("nodes = %d", rig.Topo.NumNodes())
+	}
+}
+
+func TestSingleSpecValidation(t *testing.T) {
+	if _, err := (SingleSpec{Nodes: 0, ChunksPerProc: 1}).Build(); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	if _, err := (SingleSpec{Nodes: 4, ChunksPerProc: 0}).Build(); err == nil {
+		t.Fatal("expected error for zero chunks")
+	}
+}
+
+func TestMultiSpecBuild(t *testing.T) {
+	rig, err := MultiSpec{Nodes: 8, TasksPerProc: 5, Seed: 2}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rig.Prob.Tasks) != 40 {
+		t.Fatalf("tasks = %d, want 40", len(rig.Prob.Tasks))
+	}
+	for _, task := range rig.Prob.Tasks {
+		if len(task.Inputs) != 3 {
+			t.Fatalf("task has %d inputs, want 3", len(task.Inputs))
+		}
+		if task.SizeMB() != 60 {
+			t.Fatalf("task size %v, want 60 (30+20+10)", task.SizeMB())
+		}
+	}
+	// Three datasets exist.
+	if files := rig.FS.Files(); len(files) != 3 {
+		t.Fatalf("datasets = %v", files)
+	}
+}
+
+func TestMultiSpecRunsEndToEnd(t *testing.T) {
+	rig, err := MultiSpec{Nodes: 8, TasksPerProc: 3, Seed: 3}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.MultiData{}.Assign(rig.Prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.RunAssignment(engine.Options{Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 24*3 {
+		t.Fatalf("records = %d, want 72", len(res.Records))
+	}
+}
+
+func TestDynamicSpecComputeTimes(t *testing.T) {
+	rig, err := DynamicSpec{Nodes: 8, ChunksPerProc: 5, Seed: 4, ComputeMean: 2.0}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Compute == nil {
+		t.Fatal("compute function missing")
+	}
+	var sum float64
+	n := len(rig.Prob.Tasks)
+	varies := false
+	for i := 0; i < n; i++ {
+		c := rig.Compute(i)
+		if c <= 0 {
+			t.Fatalf("compute(%d) = %v, want positive", i, c)
+		}
+		if i > 0 && rig.Compute(i) != rig.Compute(0) {
+			varies = true
+		}
+		sum += c
+	}
+	if !varies {
+		t.Fatal("compute times should be irregular")
+	}
+	if mean := sum / float64(n); math.Abs(mean-2.0) > 1.0 {
+		t.Fatalf("mean compute = %v, want ~2.0", mean)
+	}
+	// Deterministic across rebuilds.
+	rig2, _ := DynamicSpec{Nodes: 8, ChunksPerProc: 5, Seed: 4, ComputeMean: 2.0}.Build()
+	for i := 0; i < n; i++ {
+		if rig.Compute(i) != rig2.Compute(i) {
+			t.Fatal("compute times not deterministic")
+		}
+	}
+}
+
+func TestDynamicSpecPureIO(t *testing.T) {
+	rig, err := DynamicSpec{Nodes: 4, ChunksPerProc: 2, Seed: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Compute != nil {
+		t.Fatal("zero ComputeMean must disable compute")
+	}
+}
+
+func TestLogNormalComputePanicsOutOfRange(t *testing.T) {
+	f := LogNormalCompute(3, 1, 0.5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f(5)
+}
+
+func TestSkewedSpecLateNodesEmpty(t *testing.T) {
+	rig, err := SkewedSpec{Nodes: 8, LateNodes: 2, ChunksPerProc: 6, Seed: 6}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.FS.StoredMB(6) + rig.FS.StoredMB(7); got != 0 {
+		t.Fatalf("late nodes store %v MB, want 0", got)
+	}
+	// Opass still produces a valid assignment (leftover repair at work).
+	a, err := core.SingleData{}.Assign(rig.Prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(rig.Prob); err != nil {
+		t.Fatal(err)
+	}
+	// Processes on empty nodes cannot read locally, so no full matching.
+	if a.LocalityFraction() >= 1 {
+		t.Fatalf("locality %v, expected < 1 with empty nodes", a.LocalityFraction())
+	}
+}
+
+func TestSkewedSpecBalancerRestoresLocality(t *testing.T) {
+	noBal, err := SkewedSpec{Nodes: 8, LateNodes: 2, ChunksPerProc: 6, Seed: 7}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := SkewedSpec{Nodes: 8, LateNodes: 2, ChunksPerProc: 6, Seed: 7, RunBalancer: true}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNo, _ := core.SingleData{}.Assign(noBal.Prob)
+	aBal, _ := core.SingleData{}.Assign(bal.Prob)
+	if aBal.LocalityFraction() <= aNo.LocalityFraction() {
+		t.Fatalf("balancer should improve achievable locality: %v vs %v",
+			aBal.LocalityFraction(), aNo.LocalityFraction())
+	}
+}
+
+func TestSkewedSpecValidation(t *testing.T) {
+	if _, err := (SkewedSpec{Nodes: 4, LateNodes: 4, ChunksPerProc: 1}).Build(); err == nil {
+		t.Fatal("all-late cluster must fail")
+	}
+}
+
+func TestCustomPlacementPropagates(t *testing.T) {
+	rig, err := SingleSpec{Nodes: 6, ChunksPerProc: 2, Seed: 8, Placement: dfs.ClusteredPlacement{}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustered placement piles every replica on nodes 0..2.
+	for n := 3; n < 6; n++ {
+		if rig.FS.StoredMB(n) != 0 {
+			t.Fatalf("node %d has data under clustered placement", n)
+		}
+	}
+}

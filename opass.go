@@ -1,0 +1,405 @@
+// Package opass is a Go implementation of Opass — "Analysis and
+// Optimization of Parallel Data Access on Distributed File Systems"
+// (Yin et al., IEEE IPDPS 2015) — together with everything needed to
+// reproduce the paper's evaluation: an HDFS-like distributed file system,
+// a contention-aware cluster simulator calibrated to the PRObE Marmot
+// testbed, the matching-based Opass planners, the locality-oblivious
+// baselines, and the workloads of every figure in the paper.
+//
+// Opass assigns data-processing tasks to parallel processes so that reads
+// from a replicated, randomly-placed distributed file system are served
+// locally and in a balanced way. It models the process↔chunk locality
+// relation as a bipartite graph and computes assignments with max-flow
+// (single-input tasks), a stable-marriage-style matching (multi-input
+// tasks), or locality-guided dynamic dispatch (master/worker execution).
+//
+// # Quick start
+//
+//	c, _ := opass.NewCluster(16)          // 16 simulated nodes
+//	c.Store("/data", 16*10*64)            // 160 chunks of 64 MB, 3-way replicated
+//	plan, _ := c.PlanSingleData(opass.StrategyOpass, "/data")
+//	report, _ := c.Run(plan)
+//	fmt.Println(report)
+//
+// The sub-packages under internal/ hold the building blocks (simnet, dfs,
+// bipartite, core, engine, ...); this package is the stable facade over
+// them.
+package opass
+
+import (
+	"fmt"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/delay"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+)
+
+// Strategy names an assignment policy.
+type Strategy string
+
+// The assignment strategies available to planners.
+const (
+	// StrategyOpass is the paper's contribution: flow-based matching for
+	// single-input tasks, Algorithm 1 for multi-input tasks.
+	StrategyOpass Strategy = "opass"
+	// StrategyRank is the ParaView-style baseline: contiguous task
+	// intervals by process rank.
+	StrategyRank Strategy = "rank"
+	// StrategyRandom deals tasks to processes uniformly at random.
+	StrategyRandom Strategy = "random"
+	// StrategyGreedy is the near-linear-time heuristic variant of Opass's
+	// planner (§V-C2 scalability future work): scarcest-task-first greedy
+	// matching, typically within a few percent of the flow optimum.
+	StrategyGreedy Strategy = "greedy"
+)
+
+// Master selects the dispatch policy of a dynamic (master/worker) run.
+type Master string
+
+// Dynamic masters.
+const (
+	// MasterAuto follows the plan's strategy: Opass plans use the §IV-D
+	// scheduler, others the random master.
+	MasterAuto Master = ""
+	// MasterOpass uses the §IV-D guideline lists with locality-aware
+	// stealing.
+	MasterOpass Master = "opass"
+	// MasterRandom hands an idle worker a uniformly random remaining task.
+	MasterRandom Master = "random"
+	// MasterDelay uses delay scheduling (Zaharia et al., EuroSys'10): an
+	// idle worker briefly waits for a local task before accepting any.
+	MasterDelay Master = "delay"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Profile is the hardware calibration; the zero value means the Marmot
+	// profile used in the paper.
+	Profile cluster.Profile
+	// Replication is the chunk replication factor (default 3).
+	Replication int
+	// ChunkMB is the chunk size in MB (default 64).
+	ChunkMB float64
+	// Seed makes all placement and scheduling randomness reproducible.
+	Seed int64
+	// Placement overrides the replica placement policy (default: uniform
+	// random, like HDFS seen from an external writer).
+	Placement dfs.Placement
+	// Racks spreads nodes round-robin over this many racks (default 1).
+	Racks int
+}
+
+// Cluster is a simulated compute/storage cluster running a distributed
+// file system, with one data-processing process per node.
+type Cluster struct {
+	topo *cluster.Topology
+	fs   *dfs.FileSystem
+	seed int64
+}
+
+// NewCluster builds a cluster of n nodes with default options.
+func NewCluster(n int) (*Cluster, error) {
+	return NewClusterWithOptions(n, Options{})
+}
+
+// NewClusterWithOptions builds a cluster of n nodes.
+func NewClusterWithOptions(n int, opts Options) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("opass: cluster size %d must be positive", n)
+	}
+	prof := opts.Profile
+	if prof == (cluster.Profile{}) {
+		prof = cluster.Marmot()
+	}
+	racks := opts.Racks
+	if racks <= 0 {
+		racks = 1
+	}
+	topo := cluster.NewRacked(n, racks, prof)
+	fs := dfs.New(topo, dfs.Config{
+		ChunkSizeMB: opts.ChunkMB,
+		Replication: opts.Replication,
+		Placement:   opts.Placement,
+		Seed:        opts.Seed,
+	})
+	return &Cluster{topo: topo, fs: fs, seed: opts.Seed}, nil
+}
+
+// Topology exposes the underlying simulated hardware.
+func (c *Cluster) Topology() *cluster.Topology { return c.topo }
+
+// FS exposes the underlying distributed file system.
+func (c *Cluster) FS() *dfs.FileSystem { return c.fs }
+
+// NumNodes reports the cluster size.
+func (c *Cluster) NumNodes() int { return c.topo.NumNodes() }
+
+// Store writes a file of sizeMB into the DFS, chunked and replicated.
+func (c *Cluster) Store(name string, sizeMB float64) error {
+	_, err := c.fs.Create(name, sizeMB)
+	return err
+}
+
+// StorePieces writes a file with explicit piece sizes (one chunk each).
+func (c *Cluster) StorePieces(name string, sizesMB []float64) error {
+	_, err := c.fs.CreateChunks(name, sizesMB)
+	return err
+}
+
+// PieceRef names one stored piece: chunk index idx of file name.
+type PieceRef struct {
+	File  string
+	Index int
+}
+
+// TaskSpec declares one multi-input task by its input pieces.
+type TaskSpec struct {
+	Inputs []PieceRef
+}
+
+// Plan is a computed task→process assignment ready to execute.
+type Plan struct {
+	Strategy   Strategy
+	Assignment *core.Assignment
+	Problem    *core.Problem
+	// Dynamic marks the plan for master/worker execution instead of static
+	// per-process lists.
+	Dynamic bool
+}
+
+// Locality is the planned fraction of data that will be read locally.
+func (p *Plan) Locality() float64 { return p.Assignment.LocalityFraction() }
+
+func (c *Cluster) assigner(s Strategy, multi bool) (core.Assigner, error) {
+	switch s {
+	case StrategyOpass:
+		if multi {
+			return core.MultiData{Seed: c.seed}, nil
+		}
+		return core.SingleData{Seed: c.seed}, nil
+	case StrategyRank:
+		return core.RankStatic{}, nil
+	case StrategyRandom:
+		return core.RandomStatic{Seed: c.seed}, nil
+	case StrategyGreedy:
+		return core.GreedyLocality{Seed: c.seed}, nil
+	default:
+		return nil, fmt.Errorf("opass: unknown strategy %q", s)
+	}
+}
+
+// PlanSingleData assigns one task per chunk of the given files, with every
+// process receiving an equal share — the §IV-B planner under
+// StrategyOpass.
+func (c *Cluster) PlanSingleData(s Strategy, files ...string) (*Plan, error) {
+	prob, err := core.SingleDataProblem(c.fs, files, c.procNodes())
+	if err != nil {
+		return nil, err
+	}
+	as, err := c.assigner(s, false)
+	if err != nil {
+		return nil, err
+	}
+	a, err := as.Assign(prob)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Strategy: s, Assignment: a, Problem: prob}, nil
+}
+
+// PlanMultiData assigns multi-input tasks — Algorithm 1 under
+// StrategyOpass.
+func (c *Cluster) PlanMultiData(s Strategy, tasks []TaskSpec) (*Plan, error) {
+	prob := &core.Problem{ProcNode: c.procNodes(), FS: c.fs}
+	for i, spec := range tasks {
+		task := core.Task{ID: i}
+		for _, ref := range spec.Inputs {
+			f, err := c.fs.Stat(ref.File)
+			if err != nil {
+				return nil, err
+			}
+			if ref.Index < 0 || ref.Index >= len(f.Chunks) {
+				return nil, fmt.Errorf("opass: piece %d of %q out of range", ref.Index, ref.File)
+			}
+			chunk := c.fs.Chunk(f.Chunks[ref.Index])
+			task.Inputs = append(task.Inputs, core.Input{Chunk: chunk.ID, SizeMB: chunk.SizeMB})
+		}
+		prob.Tasks = append(prob.Tasks, task)
+	}
+	as, err := c.assigner(s, true)
+	if err != nil {
+		return nil, err
+	}
+	a, err := as.Assign(prob)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Strategy: s, Assignment: a, Problem: prob}, nil
+}
+
+// AsDynamic converts a static plan into a dynamic master/worker plan whose
+// master follows the §IV-D rules (own list first, then locality-aware
+// stealing from the longest list).
+func (p *Plan) AsDynamic() *Plan {
+	cp := *p
+	cp.Dynamic = true
+	return &cp
+}
+
+// RedistributionPlan describes the replica migrations that would make a
+// plan fully local, and their cost.
+type RedistributionPlan struct {
+	// Migrations counts planned replica moves; MovedMB their total traffic.
+	Migrations int
+	MovedMB    float64
+	// BreakEvenRuns is MovedMB divided by the remote traffic the plan
+	// incurs per execution — how many runs amortize the migration.
+	BreakEvenRuns float64
+
+	inner *core.RedistributionPlan
+	prob  *core.Problem
+}
+
+// PlanRedistribution computes the replica moves that would make every read
+// of the plan local (the MRAP-style extension the paper cites as beyond
+// scope). The cluster is not modified until Apply is called.
+func (c *Cluster) PlanRedistribution(p *Plan) (*RedistributionPlan, error) {
+	inner, err := core.PlanRedistribution(p.Problem, p.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	return &RedistributionPlan{
+		Migrations:    len(inner.Migrations),
+		MovedMB:       inner.MovedMB,
+		BreakEvenRuns: inner.BreakEvenRuns,
+		inner:         inner,
+		prob:          p.Problem,
+	}, nil
+}
+
+// Apply executes the planned migrations against the cluster's file system.
+func (rp *RedistributionPlan) Apply() error {
+	return rp.inner.Apply(rp.prob)
+}
+
+// NodeFailure schedules a DataNode crash during a run (see RunOptions).
+type NodeFailure = engine.NodeFailure
+
+// RunOptions tune an execution.
+type RunOptions struct {
+	// ComputeTime, when non-nil, gives each task's post-read compute time
+	// in seconds.
+	ComputeTime func(task int) float64
+	// Master selects the dispatch policy for dynamic plans (MasterAuto
+	// follows the plan's strategy).
+	Master Master
+	// DelayMaxSkips is the D parameter of MasterDelay (default 3).
+	DelayMaxSkips int
+	// Failures schedules DataNode crashes during the run; in-flight reads
+	// served by a crashed node fail over to surviving replicas.
+	Failures []NodeFailure
+}
+
+// Run executes a plan on the cluster and reports the trace statistics.
+func (c *Cluster) Run(p *Plan) (*Report, error) {
+	return c.RunWithOptions(p, RunOptions{})
+}
+
+// RunWithOptions executes a plan with tuning options.
+func (c *Cluster) RunWithOptions(p *Plan, opts RunOptions) (*Report, error) {
+	eopts := engine.Options{
+		Topo:        c.topo,
+		FS:          c.fs,
+		Problem:     p.Problem,
+		ComputeTime: opts.ComputeTime,
+		Failures:    opts.Failures,
+		Strategy:    string(p.Strategy),
+	}
+	var (
+		res *engine.Result
+		err error
+	)
+	if p.Dynamic {
+		master := opts.Master
+		if master == MasterAuto {
+			if p.Strategy == StrategyOpass || p.Strategy == StrategyGreedy {
+				master = MasterOpass
+			} else {
+				master = MasterRandom
+			}
+		}
+		var src engine.TaskSource
+		switch master {
+		case MasterOpass:
+			src, err = core.NewDynamicScheduler(p.Problem, p.Assignment)
+			if err != nil {
+				return nil, err
+			}
+		case MasterDelay:
+			skips := opts.DelayMaxSkips
+			if skips <= 0 {
+				skips = 3
+			}
+			src = delay.NewDispatcher(p.Problem, skips, c.seed)
+		case MasterRandom:
+			src = core.NewRandomDispatcher(p.Problem, c.seed)
+		default:
+			return nil, fmt.Errorf("opass: unknown master %q", master)
+		}
+		res, err = engine.Run(eopts, src)
+	} else {
+		res, err = engine.RunAssignment(eopts, p.Assignment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newReport(res), nil
+}
+
+// RunConcurrent executes several plans simultaneously on the cluster — the
+// shared-cluster scenario of §V-C1, where one application's reads contend
+// with another's. Dynamic plans use their strategy's master; static plans
+// walk their lists. Reports are returned in plan order.
+func (c *Cluster) RunConcurrent(plans []*Plan) ([]*Report, error) {
+	jobs := make([]engine.JobSpec, len(plans))
+	for i, p := range plans {
+		var src engine.TaskSource
+		if p.Dynamic {
+			if p.Strategy == StrategyOpass || p.Strategy == StrategyGreedy {
+				sched, err := core.NewDynamicScheduler(p.Problem, p.Assignment)
+				if err != nil {
+					return nil, err
+				}
+				src = sched
+			} else {
+				src = core.NewRandomDispatcher(p.Problem, c.seed+int64(i))
+			}
+		} else {
+			src = engine.NewListSource(p.Assignment.Lists)
+		}
+		jobs[i] = engine.JobSpec{
+			Problem:  p.Problem,
+			Source:   src,
+			Strategy: string(p.Strategy),
+		}
+	}
+	results, err := engine.RunJobs(c.topo, c.fs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		reports[i] = newReport(res)
+	}
+	return reports, nil
+}
+
+func (c *Cluster) procNodes() []int {
+	procs := make([]int, c.topo.NumNodes())
+	for i := range procs {
+		procs[i] = i
+	}
+	return procs
+}
