@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	opassd [-addr :8700]
+//	opassd [-addr :8700] [-log-format text|json] [-log-level debug|info|warn|error]
+//	       [-quiet] [-drain-timeout 15s]
 //
 // Endpoints (see internal/httpapi):
 //
 //	GET  /healthz
+//	GET  /metrics      Prometheus-style text exposition
 //	POST /v1/plan
 //	POST /v1/simulate
+//
+// Every request is stamped with an X-Request-Id and logged as one
+// structured line. On SIGINT/SIGTERM the server stops accepting new
+// connections and drains in-flight requests for up to -drain-timeout
+// before exiting — deploys no longer drop work on the floor.
 //
 // Example:
 //
@@ -23,28 +30,110 @@
 //	    {"inputs": [{"size_mb": 64, "replicas": [1, 3]}]}
 //	  ]
 //	}'
+//	curl -s localhost:8700/metrics
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"opass/internal/httpapi"
+	"opass/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":8700", "listen address")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opassd:", err)
+		os.Exit(2)
+	}
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.Handler(),
+		Addr: *addr,
+		Handler: httpapi.NewHandler(httpapi.ServerOptions{
+			Registry: telemetry.NewRegistry(),
+			Logger:   reqLogger,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	log.Printf("opassd listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("opassd listening", slog.String("addr", *addr))
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (port in use, etc.).
+		logger.Error("serve failed", slog.Any("error", err))
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	logger.Info("shutting down, draining in-flight requests",
+		slog.Duration("drain_timeout", *drainTimeout))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("drain timeout exceeded, closing remaining connections",
+			slog.Any("error", err))
+		srv.Close()
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server exited abnormally", slog.Any("error", err))
+		os.Exit(1)
+	}
+	logger.Info("opassd stopped cleanly")
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q", format)
+	}
 }

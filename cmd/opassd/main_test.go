@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBuildLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		for _, level := range []string{"debug", "info", "warn", "error"} {
+			if _, err := buildLogger(format, level); err != nil {
+				t.Errorf("buildLogger(%q, %q): %v", format, level, err)
+			}
+		}
+	}
+	if _, err := buildLogger("xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := buildLogger("text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}

@@ -357,7 +357,10 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 	retryWaiting = func() {
 		for len(waiting) > 0 {
 			stalled := net.Active() == 0
-			ws := waiting
+			// Copy before truncating: appends below would otherwise write
+			// into the backing array ws still aliases (and Poll callbacks
+			// can re-enter this path through completion events).
+			ws := append([]int(nil), waiting...)
 			waiting = waiting[:0]
 			progress := false
 			for _, proc := range ws {

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+// gateSource hands tasks out strictly in ID order, and only to the process
+// whose rank matches task%procs; every other asker is told to wait (unless
+// the cluster is stalled, when the gate yields to whoever polls). Because
+// reads complete at staggered times, several processes sit in the engine's
+// waiting list at once and are re-waited across many retryWaiting passes —
+// the access pattern that corrupted the list when it aliased its own
+// truncated backing array.
+type gateSource struct {
+	next, total, procs int
+	waits              int
+}
+
+// Next satisfies TaskSource; Run then upgrades the source to its
+// PollingSource interface and uses Poll.
+func (s *gateSource) Next(proc int) (int, bool) {
+	t, st := s.Poll(proc, true)
+	return t, st == PollTask
+}
+
+func (s *gateSource) Poll(proc int, stalled bool) (int, PollState) {
+	if s.next >= s.total {
+		return 0, PollDone
+	}
+	if stalled || s.next%s.procs == proc {
+		t := s.next
+		s.next++
+		return t, PollTask
+	}
+	s.waits++
+	return 0, PollWait
+}
+
+func TestRetryWaitingReWaitsWithoutCorruption(t *testing.T) {
+	const nodes, tasks = 8, 64
+	r := buildRig(t, nodes, tasks, 7, dfs.RandomPlacement{})
+	src := &gateSource{total: tasks, procs: nodes}
+	res, err := Run(r.opts("gate"), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != tasks {
+		t.Fatalf("tasks run = %d, want %d", res.TasksRun, tasks)
+	}
+	seen := make([]int, tasks)
+	for _, rec := range res.Records {
+		seen[rec.Task]++
+	}
+	for task, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d read %d times (waiting list corrupted)", task, n)
+		}
+	}
+	if src.waits == 0 {
+		t.Fatal("gate never made a process wait; the regression path was not exercised")
+	}
+	for proc, fin := range res.ProcFinish {
+		if fin <= 0 {
+			t.Fatalf("process %d never finished", proc)
+		}
+	}
+}
+
+// starveSource forces every process except rank 0 to wait while any task
+// remains, so the whole waiting list is rebuilt on every poll round — the
+// maximal-aliasing case for retryWaiting's truncate-then-append loop.
+type starveSource struct {
+	next, total int
+	waits       int
+}
+
+func (s *starveSource) Next(proc int) (int, bool) {
+	t, st := s.Poll(proc, true)
+	return t, st == PollTask
+}
+
+func (s *starveSource) Poll(proc int, stalled bool) (int, PollState) {
+	if s.next >= s.total {
+		return 0, PollDone
+	}
+	if proc != 0 && !stalled {
+		s.waits++
+		return 0, PollWait
+	}
+	t := s.next
+	s.next++
+	return t, PollTask
+}
+
+func TestRetryWaitingFullListReWait(t *testing.T) {
+	const nodes, tasks = 6, 18
+	r := buildRig(t, nodes, tasks, 11, dfs.RandomPlacement{})
+	src := &starveSource{total: tasks}
+	res, err := Run(r.opts("starve"), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != tasks {
+		t.Fatalf("tasks run = %d, want %d", res.TasksRun, tasks)
+	}
+	if src.waits < nodes-1 {
+		t.Fatalf("only %d waits recorded; starvation path not exercised", src.waits)
+	}
+	if len(res.Records) != tasks {
+		t.Fatalf("%d read records, want %d", len(res.Records), tasks)
+	}
+}

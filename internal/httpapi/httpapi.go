@@ -9,15 +9,22 @@
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus-style text exposition of service metrics
 //	POST /v1/plan      compute an assignment for a submitted layout
 //	POST /v1/simulate  plan + simulate execution, returning trace statistics
 //
 // The service is stateless; every request carries its complete layout.
+// Every request is stamped with an X-Request-Id, logged as one structured
+// line, and counted by route/status; planner latency and achieved locality
+// are recorded per strategy, and each simulation updates engine gauges
+// (makespan, tasks run, retries) — see internal/telemetry.
 package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -25,7 +32,31 @@ import (
 	"opass/internal/core"
 	"opass/internal/dfs"
 	"opass/internal/engine"
+	"opass/internal/telemetry"
 	"opass/internal/traceio"
+)
+
+// Metric family names recorded by the handler (beyond the per-route series
+// the telemetry middleware owns).
+const (
+	MetricPlannerLatency   = "opass_planner_latency_seconds"
+	MetricPlanLocality     = "opass_plan_locality_fraction"
+	MetricPlans            = "opass_plans_total"
+	MetricSimRuns          = "opass_sim_runs_total"
+	MetricSimTasks         = "opass_sim_tasks_total"
+	MetricSimRetries       = "opass_sim_retries_total"
+	MetricSimLastMakespan  = "opass_sim_last_makespan_seconds"
+	MetricSimLastTasksRun  = "opass_sim_last_tasks_run"
+	MetricSimLastRetries   = "opass_sim_last_retries"
+	MetricSimLastLocality  = "opass_sim_last_local_fraction"
+	MetricRequestsRejected = "opass_requests_rejected_total"
+)
+
+// Limits protecting the decoder from hostile or fat-fingered payloads.
+const (
+	maxBodyBytes = 32 << 20
+	maxNodes     = 1 << 16
+	maxProcs     = 1 << 16
 )
 
 // InputSpec is one data dependency of a task: its size and the nodes
@@ -73,20 +104,65 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the service's HTTP handler.
-func Handler() http.Handler {
+// ServerOptions configures the handler's telemetry.
+type ServerOptions struct {
+	// Registry receives service metrics; nil creates a private one.
+	Registry *telemetry.Registry
+	// Logger receives one structured line per request; nil disables
+	// request logging.
+	Logger *slog.Logger
+}
+
+// Handler returns the service's HTTP handler with default telemetry (a
+// private registry, no request logging).
+func Handler() http.Handler { return NewHandler(ServerOptions{}) }
+
+// routeLabel bounds metric label cardinality to the known route set.
+func routeLabel(r *http.Request) string {
+	switch r.URL.Path {
+	case "/healthz", "/metrics", "/v1/plan", "/v1/simulate":
+		return r.URL.Path
+	default:
+		return "other"
+	}
+}
+
+// NewHandler returns the service's HTTP handler wired to the given
+// telemetry sinks.
+func NewHandler(opts ServerOptions) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	reg.Help(MetricPlannerLatency, "Planner wall time in seconds, by strategy.")
+	reg.Help(MetricPlanLocality, "Planned locality fraction (local bytes / total bytes), by strategy.")
+	reg.Help(MetricPlans, "Successful plans computed, by strategy.")
+	reg.Help(MetricSimRuns, "Simulations executed.")
+	reg.Help(MetricSimTasks, "Tasks executed across all simulations.")
+	reg.Help(MetricSimRetries, "Reads retried after DataNode failures across all simulations.")
+	reg.Help(MetricSimLastMakespan, "Makespan of the most recent simulation, seconds of virtual time.")
+	reg.Help(MetricSimLastTasksRun, "Tasks executed by the most recent simulation.")
+	reg.Help(MetricSimLastRetries, "Retried reads in the most recent simulation.")
+	reg.Help(MetricSimLastLocality, "Achieved local-read fraction of the most recent simulation.")
+	reg.Help(MetricRequestsRejected, "Requests rejected before planning, by reason.")
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
 	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		req, prob, status, err := decodeProblem(r)
 		if err != nil {
+			reg.Counter(MetricRequestsRejected, telemetry.L("reason", rejectReason(status))).Inc()
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
-		resp, _, status, err := plan(req, prob)
+		resp, _, status, err := plan(reg, req, prob)
 		if err != nil {
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
@@ -96,10 +172,11 @@ func Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		req, prob, status, err := decodeProblem(r)
 		if err != nil {
+			reg.Counter(MetricRequestsRejected, telemetry.L("reason", rejectReason(status))).Inc()
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
-		resp, assignment, status, err := plan(req, prob)
+		resp, assignment, status, err := plan(reg, req, prob)
 		if err != nil {
 			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
@@ -114,9 +191,30 @@ func Handler() http.Handler {
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 			return
 		}
+		// Engine counters surface as gauges (last run) and counters
+		// (lifetime totals) so load tests can watch throughput live.
+		reg.Counter(MetricSimRuns).Inc()
+		reg.Counter(MetricSimTasks).Add(float64(res.TasksRun))
+		reg.Counter(MetricSimRetries).Add(float64(res.Retries))
+		reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
+		reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
+		reg.Gauge(MetricSimLastRetries).Set(float64(res.Retries))
+		reg.Gauge(MetricSimLastLocality).Set(res.LocalFraction())
 		writeJSON(w, http.StatusOK, SimulateResponse{Plan: resp, Summary: traceio.Summarize(res)})
 	})
-	return mux
+	return telemetry.Middleware{Reg: reg, Logger: opts.Logger, Route: routeLabel}.Wrap(mux)
+}
+
+// rejectReason buckets a decode failure status for the rejection counter.
+func rejectReason(status int) string {
+	switch status {
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusBadRequest:
+		return "invalid"
+	default:
+		return "internal"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -137,16 +235,30 @@ func (v layoutView) RackOf(int) int { return 0 }
 // by an in-memory file system that mirrors the submitted block layout.
 func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 	var req PlanRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
 	if req.Nodes <= 0 {
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("nodes must be positive")
 	}
+	if req.Nodes > maxNodes {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("nodes %d exceeds maximum %d", req.Nodes, maxNodes)
+	}
 	if len(req.Tasks) == 0 {
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("tasks must be non-empty")
+	}
+	// Validate proc_nodes up front with specific messages — the shape
+	// errors must not fall through to the planner's generic Validate.
+	if len(req.ProcNodes) > maxProcs {
+		return nil, nil, http.StatusBadRequest,
+			fmt.Errorf("proc_nodes lists %d processes, exceeding maximum %d", len(req.ProcNodes), maxProcs)
 	}
 	procNodes := req.ProcNodes
 	if len(procNodes) == 0 {
@@ -155,9 +267,10 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 			procNodes[i] = i
 		}
 	}
-	for _, n := range procNodes {
+	for i, n := range procNodes {
 		if n < 0 || n >= req.Nodes {
-			return nil, nil, http.StatusBadRequest, fmt.Errorf("proc_nodes entry %d outside [0,%d)", n, req.Nodes)
+			return nil, nil, http.StatusBadRequest,
+				fmt.Errorf("proc_nodes[%d] = %d outside [0,%d)", i, n, req.Nodes)
 		}
 	}
 	// Mirror the layout into an in-memory FS: each input becomes a chunk
@@ -220,8 +333,9 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 	return &req, prob, http.StatusOK, nil
 }
 
-// plan runs the requested strategy over the decoded problem.
-func plan(req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, int, error) {
+// plan runs the requested strategy over the decoded problem, recording
+// per-strategy planner latency and achieved locality.
+func plan(reg *telemetry.Registry, req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, int, error) {
 	multi := false
 	for i := range prob.Tasks {
 		if len(prob.Tasks[i].Inputs) > 1 {
@@ -248,14 +362,19 @@ func plan(req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment,
 	}
 	start := time.Now()
 	a, err := assigner.Assign(prob)
+	elapsed := time.Since(start)
 	if err != nil {
 		return PlanResponse{}, nil, http.StatusInternalServerError, err
 	}
+	strategy := telemetry.L("strategy", assigner.Name())
+	reg.Histogram(MetricPlannerLatency, nil, strategy).Observe(elapsed.Seconds())
+	reg.Histogram(MetricPlanLocality, telemetry.FractionBuckets, strategy).Observe(a.LocalityFraction())
+	reg.Counter(MetricPlans, strategy).Inc()
 	return PlanResponse{
 		Strategy:         assigner.Name(),
 		Owner:            a.Owner,
 		Lists:            a.Lists,
 		LocalityFraction: a.LocalityFraction(),
-		PlannerMillis:    float64(time.Since(start).Microseconds()) / 1000,
+		PlannerMillis:    float64(elapsed.Microseconds()) / 1000,
 	}, a, http.StatusOK, nil
 }

@@ -121,12 +121,24 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations are dropped (converting
+// NaN to int is implementation-defined in Go, so they must not reach the
+// index arithmetic); ±Inf clamps to the first/last bin like any other
+// out-of-range value.
 func (h *Histogram) Add(x float64) {
-	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
-	if i < 0 {
-		i = 0
+	if math.IsNaN(x) {
+		return
 	}
+	if x < h.Lo { // covers -Inf
+		h.Bins[0]++
+		return
+	}
+	if x >= h.Hi { // covers +Inf
+		h.Bins[len(h.Bins)-1]++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	// Float rounding at the top edge can still land one past the end.
 	if i >= len(h.Bins) {
 		i = len(h.Bins) - 1
 	}

@@ -119,6 +119,29 @@ func TestHistogramAndCDF(t *testing.T) {
 	}
 }
 
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	// NaN must be dropped, not converted to an implementation-defined bin.
+	h.Add(math.NaN())
+	if h.Total() != 0 {
+		t.Fatalf("NaN was recorded: bins %v", h.Bins)
+	}
+	// ±Inf clamp to the edge bins like any other out-of-range value.
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	if h.Bins[0] != 1 || h.Bins[len(h.Bins)-1] != 1 {
+		t.Fatalf("Inf not clamped to edges: bins %v", h.Bins)
+	}
+	if h.Total() != 2 {
+		t.Fatalf("total = %d, want 2", h.Total())
+	}
+	// The exact upper edge lands in the last bin (clamped, half-open range).
+	h.Add(10)
+	if h.Bins[len(h.Bins)-1] != 2 {
+		t.Fatalf("upper edge not clamped into last bin: bins %v", h.Bins)
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
