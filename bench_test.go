@@ -23,6 +23,7 @@ import (
 	"opass/internal/engine"
 	"opass/internal/experiments"
 	"opass/internal/mpi"
+	"opass/internal/plannerbench"
 	"opass/internal/simnet"
 	"opass/internal/workload"
 )
@@ -180,6 +181,95 @@ func BenchmarkPlannerMultiData(b *testing.B) {
 				if _, err := (core.MultiData{}).Assign(rig.Prob); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalityGraphProbe measures the pre-index §IV-A graph build
+// (CoLocatedMB probe sweep over every process×task pair) — kept as the
+// baseline side of the BENCH_planner.json speedup trajectory.
+func BenchmarkLocalityGraphProbe(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			p, err := plannerbench.BuildSingle(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plannerbench.LocalityGraphProbe(p)
+			}
+		})
+	}
+}
+
+// BenchmarkLocalityGraphIndexed measures the shared-index graph build the
+// planners use now (O(edges) inversion + in-order sorted inserts).
+func BenchmarkLocalityGraphIndexed(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			p, err := plannerbench.BuildSingle(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plannerbench.LocalityGraphIndexed(p)
+			}
+		})
+	}
+}
+
+// BenchmarkMultiPrefsProbe measures the pre-index Algorithm 1 preference
+// build (probe sweep into maps + map-backed sort).
+func BenchmarkMultiPrefsProbe(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			p, err := plannerbench.BuildMulti(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plannerbench.MultiPrefsProbe(p)
+			}
+		})
+	}
+}
+
+// BenchmarkMultiPrefsIndexed measures the locality-index preference build.
+func BenchmarkMultiPrefsIndexed(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			p, err := plannerbench.BuildMulti(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plannerbench.MultiPrefsIndexed(p)
+			}
+		})
+	}
+}
+
+// BenchmarkLocalityIndexBuild isolates the index inversion itself.
+func BenchmarkLocalityIndexBuild(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			p, err := plannerbench.BuildSingle(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.NewLocalityIndex(p)
 			}
 		})
 	}

@@ -27,13 +27,17 @@
 //	racks               oversubscribed multi-rack fabric study
 //	shared              co-running jobs interference study (§V-C1)
 //	datasize            dataset-size sweep at fixed cluster size
+//	planner             planner hot-path microbenchmarks (probe vs locality
+//	                    index; see -benchjson)
 //
 // Flags:
 //
-//	-seed N    random seed (default 42)
-//	-scale N   divide cluster sizes by N for quick runs (default 1 = paper scale)
-//	-out DIR   also write figure data as CSV into DIR
-//	-repeat N  replicate trace experiments over N seeds, reporting mean±sd
+//	-seed N         random seed (default 42)
+//	-scale N        divide cluster sizes by N for quick runs (default 1 = paper scale)
+//	-out DIR        also write figure data as CSV into DIR
+//	-repeat N       replicate trace experiments over N seeds, reporting mean±sd
+//	-benchjson F    write the planner experiment's results as JSON to F
+//	                (the committed BENCH_planner.json is generated this way)
 package main
 
 import (
@@ -52,8 +56,10 @@ func main() {
 	scale := flag.Int("scale", 1, "divide paper cluster sizes by this factor")
 	out := flag.String("out", "", "directory to write figure data as CSV (created if missing)")
 	repeat := flag.Int("repeat", 1, "repeat trace experiments over this many seeds and report mean±sd")
+	benchjson := flag.String("benchjson", "", "write the planner experiment's results as JSON to this file")
 	flag.Parse()
 	repeats = *repeat
+	benchJSONPath = *benchjson
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "opass-bench: %v\n", err)
@@ -223,6 +229,8 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(r.Render())
+	case "planner":
+		return plannerExperiment(benchJSONPath)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -234,6 +242,9 @@ var outDir string
 
 // repeats is the -repeat flag (1 = single run).
 var repeats int
+
+// benchJSONPath is the -benchjson flag ("" disables the JSON export).
+var benchJSONPath string
 
 // renderTrace prints a trace experiment, replicated across seeds when
 // -repeat is above 1.

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"opass/internal/bipartite"
+	"opass/internal/core"
+	"opass/internal/plannerbench"
+)
+
+// This file implements the "planner" experiment: the planner hot-path
+// microbenchmarks replayed through testing.Benchmark, printed as a table
+// and optionally serialized to BENCH_planner.json (-benchjson). The JSON
+// seeds the repo's perf trajectory: every probe/indexed pair records the
+// speedup of the locality-index refactor at each problem size.
+
+// benchResult is one serialized benchmark row.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Tasks       int     `json:"tasks"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSpeedup contrasts a probe/indexed pair.
+type benchSpeedup struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"procs"`
+	Tasks   int     `json:"tasks"`
+	Speedup float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_planner.json document.
+type benchReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoMaxProcs  int            `json:"go_max_procs"`
+	Results     []benchResult  `json:"results"`
+	Speedups    []benchSpeedup `json:"speedups"`
+}
+
+// runPlannerBench executes every planner microbenchmark and returns the
+// report. Problems are built once per size outside the timed sections.
+func runPlannerBench() (*benchReport, error) {
+	rep := &benchReport{
+		GeneratedBy: "opass-bench planner",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	record := func(name string, procs, tasks int, fn func(b *testing.B)) benchResult {
+		r := testing.Benchmark(fn)
+		row := benchResult{
+			Name:        name,
+			Procs:       procs,
+			Tasks:       tasks,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, row)
+		fmt.Printf("  %-28s procs=%-4d tasks=%-5d %14.0f ns/op %10d allocs/op\n",
+			row.Name, row.Procs, row.Tasks, row.NsPerOp, row.AllocsPerOp)
+		return row
+	}
+	pair := func(name string, procs, tasks int, probe, indexed func(b *testing.B)) {
+		p := record(name+"/probe", procs, tasks, probe)
+		ix := record(name+"/indexed", procs, tasks, indexed)
+		if ix.NsPerOp > 0 {
+			rep.Speedups = append(rep.Speedups, benchSpeedup{
+				Name: name, Procs: procs, Tasks: tasks, Speedup: p.NsPerOp / ix.NsPerOp,
+			})
+		}
+	}
+
+	for _, procs := range plannerbench.Sizes {
+		tasks := procs * plannerbench.TasksPerProc
+		sp, err := plannerbench.BuildSingle(procs)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := plannerbench.BuildMulti(procs)
+		if err != nil {
+			return nil, err
+		}
+
+		pair("locality-graph", procs, tasks,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					plannerbench.LocalityGraphProbe(sp)
+				}
+			},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					plannerbench.LocalityGraphIndexed(sp)
+				}
+			})
+		pair("multidata-prefs", procs, tasks,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					plannerbench.MultiPrefsProbe(mp)
+				}
+			},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					plannerbench.MultiPrefsIndexed(mp)
+				}
+			})
+
+		for _, c := range []struct {
+			name string
+			algo bipartite.Algorithm
+		}{
+			{"planner/single-ek", bipartite.EdmondsKarp},
+			{"planner/single-dinic", bipartite.Dinic},
+			{"planner/single-kuhn", bipartite.Kuhn},
+		} {
+			algo := c.algo
+			record(c.name, procs, tasks, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := (core.SingleData{Algorithm: algo}).Assign(sp); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		record("planner/multidata", procs, tasks, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (core.MultiData{}).Assign(mp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a, err := (core.SingleData{}).Assign(sp)
+		if err != nil {
+			return nil, err
+		}
+		record("planner/dynamic-drain", procs, tasks, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewDynamicScheduler(sp, a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Only a quarter of the processes ask for work so the tail
+				// of the drain exercises the steal scan.
+				askers := procs / 4
+				proc := 0
+				for {
+					if _, ok := s.Next(proc); !ok {
+						break
+					}
+					proc = (proc + 7) % askers
+				}
+			}
+		})
+	}
+	return rep, nil
+}
+
+// plannerExperiment runs the benchmarks, prints the speedup summary, and
+// writes the JSON document when path is non-empty.
+func plannerExperiment(path string) error {
+	fmt.Println("planner hot-path microbenchmarks (testing.Benchmark):")
+	rep, err := runPlannerBench()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nspeedups (probe -> indexed):")
+	for _, s := range rep.Speedups {
+		fmt.Printf("  %-18s procs=%-4d tasks=%-5d %6.1fx\n", s.Name, s.Procs, s.Tasks, s.Speedup)
+	}
+	if path == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", path)
+	return nil
+}

@@ -55,7 +55,10 @@ func (g *Graph) NumEdges() int { return g.edges }
 
 // AddEdge records that process p can read weight MB of file f locally.
 // Adding a parallel edge accumulates weight (a process may be co-located
-// with several inputs of a multi-input file/task).
+// with several inputs of a multi-input file/task). The adjacency lists are
+// kept sorted on insert, so builders that add edges in ascending order —
+// as the planners' locality-graph construction does — append in O(1) and
+// never trigger a shift.
 func (g *Graph) AddEdge(p, f int, weight int64) {
 	if p < 0 || p >= g.numP {
 		panic(fmt.Sprintf("bipartite: process %d out of range [0,%d)", p, g.numP))
@@ -66,45 +69,79 @@ func (g *Graph) AddEdge(p, f int, weight int64) {
 	if weight <= 0 {
 		panic(fmt.Sprintf("bipartite: edge (%d,%d) weight %d must be positive", p, f, weight))
 	}
-	for i := range g.byP[p] {
-		if g.byP[p][i].F == f {
-			g.byP[p][i].Weight += weight
-			for j := range g.byF[f] {
-				if g.byF[f][j].P == p {
-					g.byF[f][j].Weight += weight
-					return
-				}
-			}
+	i := searchF(g.byP[p], f)
+	if i < len(g.byP[p]) && g.byP[p][i].F == f {
+		g.byP[p][i].Weight += weight
+		j := searchP(g.byF[f], p)
+		if j >= len(g.byF[f]) || g.byF[f][j].P != p {
 			panic("bipartite: index desync")
 		}
+		g.byF[f][j].Weight += weight
+		return
 	}
 	e := Edge{P: p, F: f, Weight: weight}
-	g.byP[p] = append(g.byP[p], e)
-	g.byF[f] = append(g.byF[f], e)
+	g.byP[p] = insertEdge(g.byP[p], i, e)
+	g.byF[f] = insertEdge(g.byF[f], searchP(g.byF[f], p), e)
 	g.edges++
 }
 
-// EdgesOfP lists the edges incident to process p in ascending file order.
-func (g *Graph) EdgesOfP(p int) []Edge {
-	es := append([]Edge(nil), g.byP[p]...)
-	sort.Slice(es, func(i, j int) bool { return es[i].F < es[j].F })
+// Reserve pre-sizes the adjacency lists for callers that know vertex
+// degrees up front (the locality index does), eliminating append-growth
+// reallocations during a bulk build. Nil slices leave that side untouched;
+// reserving below a list's current length is a no-op for it.
+func (g *Graph) Reserve(procDeg, fileDeg []int) {
+	for p, d := range procDeg {
+		if p < g.numP && d > len(g.byP[p]) && d > cap(g.byP[p]) {
+			es := make([]Edge, len(g.byP[p]), d)
+			copy(es, g.byP[p])
+			g.byP[p] = es
+		}
+	}
+	for f, d := range fileDeg {
+		if f < g.numF && d > len(g.byF[f]) && d > cap(g.byF[f]) {
+			es := make([]Edge, len(g.byF[f]), d)
+			copy(es, g.byF[f])
+			g.byF[f] = es
+		}
+	}
+}
+
+// searchF returns the position of the first edge with .F >= f.
+func searchF(es []Edge, f int) int {
+	return sort.Search(len(es), func(i int) bool { return es[i].F >= f })
+}
+
+// searchP returns the position of the first edge with .P >= p.
+func searchP(es []Edge, p int) int {
+	return sort.Search(len(es), func(i int) bool { return es[i].P >= p })
+}
+
+// insertEdge places e at position i, shifting the tail (a no-op append for
+// in-order builders).
+func insertEdge(es []Edge, i int, e Edge) []Edge {
+	es = append(es, Edge{})
+	copy(es[i+1:], es[i:])
+	es[i] = e
 	return es
 }
+
+// EdgesOfP lists the edges incident to process p in ascending file order.
+// The returned slice is a read-only view owned by the graph: callers must
+// not modify it, and it is invalidated by the next AddEdge touching p.
+func (g *Graph) EdgesOfP(p int) []Edge { return g.byP[p] }
 
 // EdgesOfF lists the edges incident to file f in ascending process order.
-func (g *Graph) EdgesOfF(f int) []Edge {
-	es := append([]Edge(nil), g.byF[f]...)
-	sort.Slice(es, func(i, j int) bool { return es[i].P < es[j].P })
-	return es
-}
+// The returned slice is a read-only view owned by the graph: callers must
+// not modify it, and it is invalidated by the next AddEdge touching f.
+func (g *Graph) EdgesOfF(f int) []Edge { return g.byF[f] }
 
 // Weight returns the locality weight between p and f, zero when no edge
-// exists.
+// exists. It binary-searches the sorted adjacency.
 func (g *Graph) Weight(p, f int) int64 {
-	for _, e := range g.byP[p] {
-		if e.F == f {
-			return e.Weight
-		}
+	es := g.byP[p]
+	i := searchF(es, f)
+	if i < len(es) && es[i].F == f {
+		return es[i].Weight
 	}
 	return 0
 }

@@ -30,10 +30,17 @@ func MatchAugmenting(g *Graph, quota []int) (owner []int, size int) {
 		owned[p] = append(owned[p], f)
 	}
 	detach := func(f, p int) {
+		// Swap-remove instead of append(files[:i], files[i+1:]...): the
+		// shifting remove rewrites every element after i in the backing
+		// array, so any alias of owned[p] taken before the call would see
+		// wholesale-relocated contents. The swap touches exactly one slot
+		// and stays O(1).
 		files := owned[p]
 		for i, x := range files {
 			if x == f {
-				owned[p] = append(files[:i], files[i+1:]...)
+				last := len(files) - 1
+				files[i] = files[last]
+				owned[p] = files[:last]
 				return
 			}
 		}

@@ -21,12 +21,15 @@ import (
 // (Next(proc) (task, ok)).
 type DynamicScheduler struct {
 	p      *Problem
+	ix     *LocalityIndex
 	lists  [][]int // remaining tasks per process, in list order
 	remain int
 }
 
 // NewDynamicScheduler builds a scheduler from a planned assignment
-// (normally produced by SingleData or MultiData).
+// (normally produced by SingleData or MultiData). It builds the locality
+// index once so every steal scan resolves co-located sizes by binary
+// search instead of re-probing chunk replica lists.
 func NewDynamicScheduler(p *Problem, a *Assignment) (*DynamicScheduler, error) {
 	if err := a.Validate(p); err != nil {
 		return nil, err
@@ -37,7 +40,7 @@ func NewDynamicScheduler(p *Problem, a *Assignment) (*DynamicScheduler, error) {
 		lists[i] = append([]int(nil), a.Lists[i]...)
 		total += len(lists[i])
 	}
-	return &DynamicScheduler{p: p, lists: lists, remain: total}, nil
+	return &DynamicScheduler{p: p, ix: NewLocalityIndex(p), lists: lists, remain: total}, nil
 }
 
 // Remaining reports how many tasks have not yet been handed out.
@@ -73,7 +76,7 @@ func (s *DynamicScheduler) Next(proc int) (task int, ok bool) {
 	}
 	bestIdx, bestW := 0, -1.0
 	for i, t := range s.lists[longest] {
-		if w := s.p.CoLocatedMB(proc, t); w > bestW {
+		if w := s.ix.CoLocatedMB(proc, t); w > bestW {
 			bestIdx, bestW = i, w
 		}
 	}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opass/internal/bipartite"
+	"opass/internal/dfs"
+)
+
+// The golden-plan tests lock the planners' Owner output on seeded 64-node
+// problems. The single_ek, single_dinic, multi, and dynamic_order entries
+// under testdata/ were generated from the pre-index implementation
+// (CoLocatedMB probe loops and copy-and-sort adjacency), so a pass here
+// proves the locality-index refactor is byte-for-byte behavior-preserving
+// on those planners. single_kuhn was re-locked after the detach hardening
+// in MatchAugmenting (swap-remove changes which equally-sized matching
+// Kuhn picks; size parity with the flow solvers is asserted by
+// TestMatchAugmentingParityRandomQuotas). Regenerate with:
+//
+//	go test ./internal/core -run TestGoldenPlans -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden plan file")
+
+// goldenPlans is the serialized form of every locked plan.
+type goldenPlans struct {
+	// SingleEK/SingleDinic/SingleKuhn are Owner arrays of the single-data
+	// planner on a seeded 64-proc x 640-task problem.
+	SingleEK    []int `json:"single_ek"`
+	SingleDinic []int `json:"single_dinic"`
+	SingleKuhn  []int `json:"single_kuhn"`
+	// Multi is the Owner array of Algorithm 1 on a seeded 64-proc x 640-task
+	// multi-data problem.
+	Multi []int `json:"multi"`
+	// DynamicOrder is the exact task sequence the dynamic scheduler serves
+	// when only 16 of the 64 processes ask for work — the last three quarters
+	// of the job exercises the steal scan.
+	DynamicOrder []int `json:"dynamic_order"`
+}
+
+// goldenSingleProblem is the seeded single-data case all golden plans use.
+func goldenSingleProblem(t testing.TB) *Problem {
+	t.Helper()
+	p, _ := buildSingle(t, 64, 640, 42, dfs.RandomPlacement{})
+	return p
+}
+
+// goldenMultiProblem builds the paper's 30/20/10 MB multi-data workload on
+// 64 nodes with 10 tasks per process.
+func goldenMultiProblem(t testing.TB) *Problem {
+	t.Helper()
+	const nodes, perProc = 64, 10
+	fs := dfs.New(view{nodes}, dfs.Config{Seed: 42})
+	n := nodes * perProc
+	inputs := []float64{30, 20, 10}
+	sets := make([][]dfs.ChunkID, len(inputs))
+	for j, sz := range inputs {
+		sizes := make([]float64, n)
+		for i := range sizes {
+			sizes[i] = sz
+		}
+		f, err := fs.CreateChunks(fmt.Sprintf("/set%d", j), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets[j] = f.Chunks
+	}
+	procNode := make([]int, nodes)
+	for i := range procNode {
+		procNode[i] = i
+	}
+	p := &Problem{ProcNode: procNode, FS: fs}
+	for i := 0; i < n; i++ {
+		task := Task{ID: i}
+		for j, sz := range inputs {
+			task.Inputs = append(task.Inputs, Input{Chunk: sets[j][i], SizeMB: sz})
+		}
+		p.Tasks = append(p.Tasks, task)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// computeGoldenPlans runs every locked planner on the seeded problems.
+func computeGoldenPlans(t testing.TB) *goldenPlans {
+	t.Helper()
+	sp := goldenSingleProblem(t)
+	out := &goldenPlans{}
+	for _, c := range []struct {
+		algo bipartite.Algorithm
+		dst  *[]int
+	}{
+		{bipartite.EdmondsKarp, &out.SingleEK},
+		{bipartite.Dinic, &out.SingleDinic},
+		{bipartite.Kuhn, &out.SingleKuhn},
+	} {
+		a, err := (SingleData{Algorithm: c.algo, Seed: 7}).Assign(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*c.dst = a.Owner
+	}
+	mp := goldenMultiProblem(t)
+	ma, err := (MultiData{Seed: 5}).Assign(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Multi = ma.Owner
+
+	// Dynamic drain: only 16 of the 64 processes ask for work, so after
+	// their own lists empty the remaining ~480 tasks all go through the
+	// steal scan (rule 2 of §IV-D).
+	base, err := (SingleData{Seed: 7}).Assign(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDynamicScheduler(sp, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		task, ok := s.Next((i * 7) % 16)
+		if !ok {
+			break
+		}
+		out.DynamicOrder = append(out.DynamicOrder, task)
+	}
+	return out
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_plans.json") }
+
+func TestGoldenPlans(t *testing.T) {
+	got := computeGoldenPlans(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath())
+		return
+	}
+	blob, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var want goldenPlans
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want []int
+	}{
+		{"single-data/edmonds-karp", got.SingleEK, want.SingleEK},
+		{"single-data/dinic", got.SingleDinic, want.SingleDinic},
+		{"single-data/kuhn", got.SingleKuhn, want.SingleKuhn},
+		{"multi-data", got.Multi, want.Multi},
+		{"dynamic-order", got.DynamicOrder, want.DynamicOrder},
+	} {
+		if len(c.got) != len(c.want) {
+			t.Errorf("%s: plan length %d, want %d", c.name, len(c.got), len(c.want))
+			continue
+		}
+		for i := range c.got {
+			if c.got[i] != c.want[i] {
+				t.Errorf("%s: entry %d = %d, want %d (first mismatch)", c.name, i, c.got[i], c.want[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the shared locality index behind every planner's hot
+// path. The §IV-A locality graph is sparse — a task touches at most
+// inputs × replicas nodes, so at most that many processes hold any of its
+// data — yet the planners used to discover it by probing CoLocatedMB for
+// every (process, task) pair, an O(m·n·inputs·replicas) sweep. The index
+// inverts the problem once: node→processes from ProcNode and chunk→replicas
+// from the namenode metadata, yielding every (process, task, MB) locality
+// edge in O(edges) total. SingleData's flow-network build, MultiData's
+// preference lists, and the dynamic scheduler's steal scan all run off it.
+//
+// The per-task accumulation order matches CoLocatedMB exactly (inputs in
+// declaration order, each added once per co-located process), so the
+// floating-point weights are bit-identical to the probe path — the golden
+// plan tests rely on this to prove the refactor is behavior-preserving.
+
+// LocalityEdge is one edge of the §IV-A bipartite locality graph: process
+// Proc holds MB megabytes of task Task's input data on its local disks.
+type LocalityEdge struct {
+	Proc int
+	Task int
+	MB   float64
+}
+
+// LocalityIndex is the inverted locality view of a Problem. It is immutable
+// after construction; the underlying Problem and FileSystem must not change
+// while the index is in use.
+type LocalityIndex struct {
+	p      *Problem
+	byTask [][]LocalityEdge // task -> edges, Proc-ascending
+	byProc [][]LocalityEdge // proc -> edges, Task-ascending
+	edges  int
+}
+
+// indexParallelThreshold is the task count below which the index builds
+// serially; tiny problems don't amortize the worker-pool handoff.
+const indexParallelThreshold = 256
+
+// NewLocalityIndex builds the index in O(edges) by walking each task's
+// inputs through the chunk→replica and node→process inversions. The
+// independent per-task accumulations are fanned out over a bounded
+// GOMAXPROCS worker pool on large problems.
+func NewLocalityIndex(p *Problem) *LocalityIndex {
+	m, n := p.NumProcs(), len(p.Tasks)
+	ix := &LocalityIndex{p: p, byTask: make([][]LocalityEdge, n)}
+
+	// Invert ProcNode: which process ranks live on each node.
+	maxNode := -1
+	for _, node := range p.ProcNode {
+		if node > maxNode {
+			maxNode = node
+		}
+	}
+	procsOn := make([][]int, maxNode+1)
+	for proc, node := range p.ProcNode {
+		if node >= 0 {
+			procsOn[node] = append(procsOn[node], proc)
+		}
+	}
+
+	// Per-worker scratch: accumulated MB per process plus an epoch stamp so
+	// the arrays reset in O(touched) instead of O(m) per task.
+	type scratch struct {
+		mb      []float64
+		stamp   []int
+		epoch   int
+		touched []int
+		arena   []LocalityEdge // block allocator for per-task edge slices
+	}
+	buildTask := func(s *scratch, t int) {
+		s.epoch++
+		s.touched = s.touched[:0]
+		for _, in := range p.Tasks[t].Inputs {
+			for _, node := range p.FS.Chunk(in.Chunk).Replicas {
+				if node < 0 || node >= len(procsOn) {
+					continue
+				}
+				for _, proc := range procsOn[node] {
+					if s.stamp[proc] != s.epoch {
+						s.stamp[proc] = s.epoch
+						s.mb[proc] = 0
+						s.touched = append(s.touched, proc)
+					}
+					s.mb[proc] += in.SizeMB
+				}
+			}
+		}
+		if len(s.touched) == 0 {
+			return
+		}
+		sort.Ints(s.touched)
+		// Carve the task's edge slice from a block arena: one allocation per
+		// ~4096 edges instead of one per task. Full slice expressions cap the
+		// capacity so neighboring carves can never overlap.
+		need := len(s.touched)
+		if len(s.arena) < need {
+			size := 4096
+			if need > size {
+				size = need
+			}
+			s.arena = make([]LocalityEdge, size)
+		}
+		es := s.arena[:need:need]
+		s.arena = s.arena[need:]
+		for i, proc := range s.touched {
+			es[i] = LocalityEdge{Proc: proc, Task: t, MB: s.mb[proc]}
+		}
+		ix.byTask[t] = es
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if n < indexParallelThreshold || workers <= 1 {
+		s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+		for t := 0; t < n; t++ {
+			buildTask(s, t)
+		}
+	} else {
+		if workers > n {
+			workers = n
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= n {
+						return
+					}
+					buildTask(s, t)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Transpose into the per-process view with a counting sort over one
+	// shared backing array. Tasks are visited in ascending order, so byProc
+	// stays Task-ascending without a comparison sort.
+	deg := make([]int, m)
+	for _, es := range ix.byTask {
+		ix.edges += len(es)
+		for _, e := range es {
+			deg[e.Proc]++
+		}
+	}
+	backing := make([]LocalityEdge, ix.edges)
+	pos := make([]int, m)
+	off := 0
+	ix.byProc = make([][]LocalityEdge, m)
+	for proc, d := range deg {
+		pos[proc] = off
+		ix.byProc[proc] = backing[off : off+d : off+d]
+		off += d
+	}
+	for _, es := range ix.byTask {
+		for _, e := range es {
+			backing[pos[e.Proc]] = e
+			pos[e.Proc]++
+		}
+	}
+	return ix
+}
+
+// NumEdges reports the number of locality edges (pairs with positive
+// co-located data).
+func (ix *LocalityIndex) NumEdges() int { return ix.edges }
+
+// Degrees returns the per-process and per-task edge counts, in the shape
+// bipartite.Graph.Reserve expects, so a graph built from the index can
+// pre-size its adjacency lists.
+func (ix *LocalityIndex) Degrees() (procDeg, taskDeg []int) {
+	procDeg = make([]int, len(ix.byProc))
+	for p, es := range ix.byProc {
+		procDeg[p] = len(es)
+	}
+	taskDeg = make([]int, len(ix.byTask))
+	for t, es := range ix.byTask {
+		taskDeg[t] = len(es)
+	}
+	return procDeg, taskDeg
+}
+
+// TaskEdges returns task t's locality edges in ascending process order. The
+// slice is a read-only view owned by the index.
+func (ix *LocalityIndex) TaskEdges(t int) []LocalityEdge { return ix.byTask[t] }
+
+// ProcEdges returns process p's locality edges in ascending task order. The
+// slice is a read-only view owned by the index.
+func (ix *LocalityIndex) ProcEdges(p int) []LocalityEdge { return ix.byProc[p] }
+
+// CoLocatedMB returns the co-located megabytes for (proc, task) by binary
+// search — the same value Problem.CoLocatedMB computes by probing, in
+// O(log degree) instead of O(inputs·replicas).
+func (ix *LocalityIndex) CoLocatedMB(proc, task int) float64 {
+	es := ix.byTask[task]
+	i := sort.Search(len(es), func(k int) bool { return es[k].Proc >= proc })
+	if i < len(es) && es[i].Proc == proc {
+		return es[i].MB
+	}
+	return 0
+}
+
+// parallelFor runs fn(i) for i in [0, n) over a bounded GOMAXPROCS worker
+// pool. Iterations must be independent; small n runs inline.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < 2 || workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

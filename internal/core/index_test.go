@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+// TestLocalityIndexMatchesProbes asserts the index reproduces
+// Problem.CoLocatedMB bit-for-bit over every (proc, task) pair — the
+// invariant the golden-plan equivalence rests on — on both single-data and
+// multi-data problems, across the serial and parallel build paths.
+func TestLocalityIndexMatchesProbes(t *testing.T) {
+	single, _ := buildSingle(t, 16, 160, 9, dfs.RandomPlacement{})
+	large, _ := buildSingle(t, 24, 2*indexParallelThreshold, 10, dfs.RandomPlacement{})
+	multi := goldenMultiProblem(t)
+	for name, p := range map[string]*Problem{"single": single, "parallel-build": large, "multi": multi} {
+		t.Run(name, func(t *testing.T) {
+			ix := NewLocalityIndex(p)
+			edges := 0
+			for task := range p.Tasks {
+				for proc := 0; proc < p.NumProcs(); proc++ {
+					want := p.CoLocatedMB(proc, task)
+					if got := ix.CoLocatedMB(proc, task); got != want {
+						t.Fatalf("index MB(proc=%d, task=%d) = %v, probe says %v", proc, task, got, want)
+					}
+					if want > 0 {
+						edges++
+					}
+				}
+			}
+			if ix.NumEdges() != edges {
+				t.Fatalf("index has %d edges, probes found %d", ix.NumEdges(), edges)
+			}
+		})
+	}
+}
+
+// TestLocalityIndexViewsSorted asserts the ordering contracts TaskEdges and
+// ProcEdges document, and that both views agree on the edge set.
+func TestLocalityIndexViewsSorted(t *testing.T) {
+	p, _ := buildSingle(t, 16, 160, 11, dfs.RandomPlacement{})
+	ix := NewLocalityIndex(p)
+	type key struct{ proc, task int }
+	fromTasks := map[key]float64{}
+	for task := range p.Tasks {
+		es := ix.TaskEdges(task)
+		if !sort.SliceIsSorted(es, func(a, b int) bool { return es[a].Proc < es[b].Proc }) {
+			t.Fatalf("TaskEdges(%d) not process-ascending: %v", task, es)
+		}
+		for _, e := range es {
+			if e.Task != task || e.MB <= 0 {
+				t.Fatalf("TaskEdges(%d) contains foreign or empty edge %+v", task, e)
+			}
+			fromTasks[key{e.Proc, e.Task}] = e.MB
+		}
+	}
+	seen := 0
+	for proc := 0; proc < p.NumProcs(); proc++ {
+		es := ix.ProcEdges(proc)
+		if !sort.SliceIsSorted(es, func(a, b int) bool { return es[a].Task < es[b].Task }) {
+			t.Fatalf("ProcEdges(%d) not task-ascending: %v", proc, es)
+		}
+		for _, e := range es {
+			if w, ok := fromTasks[key{e.Proc, e.Task}]; !ok || w != e.MB {
+				t.Fatalf("ProcEdges(%d) edge %+v disagrees with TaskEdges view (%v, %v)", proc, e, w, ok)
+			}
+			seen++
+		}
+	}
+	if seen != ix.NumEdges() {
+		t.Fatalf("ProcEdges enumerates %d edges, index reports %d", seen, ix.NumEdges())
+	}
+}
+
+// TestLocalityIndexParallelDeterminism asserts repeated builds (which race
+// worker goroutines over the task space) always produce identical views.
+func TestLocalityIndexParallelDeterminism(t *testing.T) {
+	p, _ := buildSingle(t, 24, 2*indexParallelThreshold, 12, dfs.RandomPlacement{})
+	base := NewLocalityIndex(p)
+	for round := 0; round < 5; round++ {
+		ix := NewLocalityIndex(p)
+		if ix.NumEdges() != base.NumEdges() {
+			t.Fatalf("round %d: %d edges, want %d", round, ix.NumEdges(), base.NumEdges())
+		}
+		for task := range p.Tasks {
+			a, b := base.TaskEdges(task), ix.TaskEdges(task)
+			if len(a) != len(b) {
+				t.Fatalf("round %d task %d: %d edges, want %d", round, task, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d task %d edge %d: %+v, want %+v", round, task, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSingleDataSubMBTasks pins the capacity-unit fix: sub-MB tasks used to
+// be clamped to 1 MB each in the flow encoding (a 0.4 MB task inflated
+// 2.5x), which skewed the per-process quotas whenever task sizes were
+// mixed. With scaled units the planner balances the actual megabytes.
+func TestSingleDataSubMBTasks(t *testing.T) {
+	// 2 processes; 10 tasks of 0.4 MB and 4 of 2.0 MB, every chunk
+	// replicated on both nodes so locality never constrains the split. The
+	// ideal share is 6.0 MB per process.
+	const nodes = 2
+	fs := dfs.New(view{nodes}, dfs.Config{Replication: 2, Seed: 1})
+	sizes := make([]float64, 0, 14)
+	for i := 0; i < 10; i++ {
+		sizes = append(sizes, 0.4)
+	}
+	for i := 0; i < 4; i++ {
+		sizes = append(sizes, 2.0)
+	}
+	f, err := fs.CreateChunks("/mixed", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{ProcNode: []int{0, 1}, FS: fs}
+	for i, id := range f.Chunks {
+		p.Tasks = append(p.Tasks, Task{ID: i, Inputs: []Input{{Chunk: id, SizeMB: sizes[i]}}})
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if scale := capacityScale(p); scale < 32 {
+		t.Fatalf("capacityScale = %d, want a sub-MB unit (>= 32 units/MB)", scale)
+	}
+	a, err := (SingleData{Seed: 3}).Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LocalityFraction() != 1.0 {
+		t.Fatalf("locality = %v, want 1.0 with full replication", a.LocalityFraction())
+	}
+	load := make([]float64, nodes)
+	for task, proc := range a.Owner {
+		load[proc] += p.Tasks[task].SizeMB()
+	}
+	ideal := p.TotalMB() / nodes
+	for proc, mb := range load {
+		if diff := mb - ideal; diff > 2.0 || diff < -2.0 {
+			t.Fatalf("proc %d carries %.1f MB, ideal %.1f (quotas distorted by per-task MB rounding; loads %v)", proc, mb, ideal, load)
+		}
+	}
+}
+
+// TestCapUnitsWholeMBCompat asserts the scale-1 path is the paper's
+// original encoding (round to nearest MB, floor 1), keeping whole-MB
+// workloads byte-compatible with the pre-scaling planner.
+func TestCapUnitsWholeMBCompat(t *testing.T) {
+	for _, c := range []struct {
+		size float64
+		want int64
+	}{{0.2, 1}, {0.6, 1}, {1.0, 1}, {1.4, 1}, {1.5, 2}, {64, 64}} {
+		if got := capUnits(c.size, 1); got != c.want {
+			t.Errorf("capUnits(%v, 1) = %d, want %d", c.size, got, c.want)
+		}
+	}
+	whole, _ := buildSingle(t, 4, 16, 2, dfs.RandomPlacement{})
+	if scale := capacityScale(whole); scale != 1 {
+		t.Errorf("capacityScale on 64 MB chunks = %d, want 1", scale)
+	}
+}

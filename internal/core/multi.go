@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // MultiData is the Opass planner for tasks with multiple data inputs
@@ -30,30 +31,28 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 	n, m := len(p.Tasks), p.NumProcs()
 	quotas := taskQuotas(n, m)
 
-	// Matching values m_i^j, kept sparse per process as a preference list
-	// sorted by descending co-located size (ties by ascending task ID for
-	// determinism). Only tasks with positive co-located data appear; tasks
-	// with zero affinity everywhere are handled by the final repair, which
-	// is equivalent to proposing with value zero.
-	match := make([]map[int]float64, m) // proc -> task -> MB
-	prefs := make([][]int, m)           // proc -> tasks, best first
-	for proc := 0; proc < m; proc++ {
-		match[proc] = make(map[int]float64)
-		for t := 0; t < n; t++ {
-			if w := p.CoLocatedMB(proc, t); w > 0 {
-				match[proc][t] = w
-				prefs[proc] = append(prefs[proc], t)
-			}
+	// Matching values m_i^j come from the shared locality index (one
+	// O(edges) inversion instead of m·n CoLocatedMB probes). Each process's
+	// preference list is its sparse edge set sorted by descending co-located
+	// size (ties by ascending task ID for determinism — the index hands the
+	// edges task-ascending, so a stable sort on size alone preserves the tie
+	// order). Only tasks with positive co-located data appear; tasks with
+	// zero affinity everywhere are handled by the final repair, which is
+	// equivalent to proposing with value zero. The per-process sorts are
+	// independent, so they fan out over a bounded GOMAXPROCS worker pool.
+	ix := NewLocalityIndex(p)
+	prefs := make([][]LocalityEdge, m) // proc -> edges, best first
+	parallelFor(m, func(proc int) {
+		es := ix.ProcEdges(proc)
+		if len(es) == 0 {
+			return
 		}
-		mp := match[proc]
-		sort.Slice(prefs[proc], func(a, b int) bool {
-			ta, tb := prefs[proc][a], prefs[proc][b]
-			if mp[ta] != mp[tb] {
-				return mp[ta] > mp[tb]
-			}
-			return ta < tb
-		})
-	}
+		own := append([]LocalityEdge(nil), es...)
+		// Stable + generic (no reflection-based swaps): same ordering as
+		// sort.SliceStable on descending MB, several times faster.
+		slices.SortStableFunc(own, func(a, b LocalityEdge) int { return cmp.Compare(b.MB, a.MB) })
+		prefs[proc] = own
+	})
 
 	owner := make([]int, n)
 	for t := range owner {
@@ -85,7 +84,8 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 		}
 		// Propose to the best not-yet-considered task (line 7).
 		for cursor[k] < len(prefs[k]) && counts[k] < quotas[k] {
-			x := prefs[k][cursor[k]]
+			e := prefs[k][cursor[k]]
+			x := e.Task
 			cursor[k]++ // record that k considered x (line 16)
 			cur := owner[x]
 			if cur == -1 {
@@ -93,7 +93,7 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 				counts[k]++
 				continue
 			}
-			if match[cur][x] < match[k][x] { // line 11
+			if ix.CoLocatedMB(cur, x) < e.MB { // line 11
 				owner[x] = k // lines 12-13
 				counts[k]++
 				counts[cur]--
@@ -118,13 +118,16 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 		if owner[t] >= 0 {
 			continue
 		}
-		best, bestW := -1, -1.0
-		for proc := 0; proc < m; proc++ {
-			if counts[proc] >= quotas[proc] {
+		// Among under-quota processes holding any of the task's data, the
+		// largest share wins (lowest rank on ties — TaskEdges is
+		// process-ascending and the comparison is strict).
+		best, bestW := -1, 0.0
+		for _, e := range ix.TaskEdges(t) {
+			if counts[e.Proc] >= quotas[e.Proc] {
 				continue
 			}
-			if w := match[proc][t]; w > bestW {
-				best, bestW = proc, w
+			if e.MB > bestW {
+				best, bestW = e.Proc, e.MB
 			}
 		}
 		if best < 0 || bestW <= 0 {

@@ -220,26 +220,54 @@ func taskQuotas(n, m int) []int {
 	return q
 }
 
-// mbInt converts a size in MB to the integer capacity units used by the
-// flow network, rounding to the nearest whole MB but never below 1.
-func mbInt(size float64) int64 {
-	v := int64(math.Round(size))
+// capacityScale picks the integer unit of the flow encoding: capacities
+// are expressed in 1/scale MB. Whole-MB workloads keep scale 1 — the
+// paper's encoding, with capUnits(x, 1) rounding to the nearest MB. When
+// any task is smaller than 1 MB a per-task round with a floor of 1 would
+// inflate its capacity (a 0.4 MB task became 1 MB, ~2.5x, distorting the
+// per-process quotas), so the unit shrinks by powers of two until the
+// smallest task spans at least minTaskUnits units, bounding the per-task
+// rounding error at ~1.6% instead.
+func capacityScale(p *Problem) int64 {
+	minSize := math.Inf(1)
+	for i := range p.Tasks {
+		if s := p.Tasks[i].SizeMB(); s < minSize {
+			minSize = s
+		}
+	}
+	if minSize >= 1 {
+		return 1
+	}
+	const minTaskUnits = 32
+	scale := int64(1)
+	for float64(scale)*minSize < minTaskUnits && scale < 1<<24 {
+		scale <<= 1
+	}
+	return scale
+}
+
+// capUnits converts a size in MB to integer flow-capacity units at the
+// given scale, rounding to nearest but never below 1.
+func capUnits(size float64, scale int64) int64 {
+	v := int64(math.Round(size * float64(scale)))
 	if v < 1 {
 		v = 1
 	}
 	return v
 }
 
-// localityGraph builds the §IV-A bipartite graph: an edge (p, t) with
-// weight equal to the co-located megabytes whenever any input of task t has
-// a replica on process p's node.
-func localityGraph(p *Problem) *bipartite.Graph {
+// localityGraph builds the §IV-A bipartite graph from the locality index:
+// an edge (p, t) weighted by the co-located data in capacity units
+// whenever any input of task t has a replica on process p's node. Walking
+// the index's sparse edges keeps the build O(edges); the insertion order
+// (process-major, tasks ascending) appends in the sorted-adjacency order
+// bipartite.Graph maintains, so no edge insert ever shifts.
+func localityGraph(p *Problem, ix *LocalityIndex, scale int64) *bipartite.Graph {
 	g := bipartite.NewGraph(p.NumProcs(), len(p.Tasks))
-	for t := range p.Tasks {
-		for proc := range p.ProcNode {
-			if w := p.CoLocatedMB(proc, t); w > 0 {
-				g.AddEdge(proc, t, mbInt(w))
-			}
+	g.Reserve(ix.Degrees())
+	for proc := 0; proc < p.NumProcs(); proc++ {
+		for _, e := range ix.ProcEdges(proc) {
+			g.AddEdge(proc, e.Task, capUnits(e.MB, scale))
 		}
 	}
 	return g

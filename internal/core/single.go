@@ -42,15 +42,17 @@ func (s SingleData) Assign(p *Problem) (*Assignment, error) {
 		}
 	}
 	n, m := len(p.Tasks), p.NumProcs()
-	g := localityGraph(p)
+	ix := NewLocalityIndex(p)
+	scale := capacityScale(p)
+	g := localityGraph(p, ix, scale)
 
 	// Per-process data quota: TotalSize/m (or weight-proportional shares),
-	// in whole MB with the rounding remainder spread over the first
-	// processes so quotas sum to the total.
+	// in whole capacity units (1/scale MB) with the rounding remainder
+	// spread over the first processes so quotas sum to the total.
 	sizes := make([]int64, n)
 	var total int64
 	for t := range p.Tasks {
-		sizes[t] = mbInt(p.Tasks[t].SizeMB())
+		sizes[t] = capUnits(p.Tasks[t].SizeMB(), scale)
 		total += sizes[t]
 	}
 	quotasMB, err := shareQuotas(total, m, s.Weights)

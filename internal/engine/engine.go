@@ -288,6 +288,14 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 	var waiting []int
 	failed := make(map[int]bool)
 
+	// Pending kindFailure timers are simnet flows, but they are not work:
+	// counting them as active would keep "stalled" false while every worker
+	// sits in the waiting list, letting a PollWait-answering source park the
+	// whole cluster until a far-future crash timer fires. Track them
+	// separately and subtract them from the active-work check.
+	failureTimers := 0
+	activeWork := func() int { return net.Active() - failureTimers }
+
 	var startTask, startInput, finishProc func(proc int)
 	var retryWaiting func()
 
@@ -330,7 +338,7 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 	}
 
 	startTask = func(proc int) {
-		stalled := net.Active() == 0 && len(waiting) == 0
+		stalled := activeWork() == 0 && len(waiting) == 0
 		task, st := poller.Poll(proc, stalled)
 		switch st {
 		case PollDone:
@@ -356,7 +364,7 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 	// which obliges the source to answer (delay scheduling's timeout).
 	retryWaiting = func() {
 		for len(waiting) > 0 {
-			stalled := net.Active() == 0
+			stalled := activeWork() == 0
 			// Copy before truncating: appends below would otherwise write
 			// into the backing array ws still aliases (and Poll callbacks
 			// can re-enter this path through completion events).
@@ -432,6 +440,7 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 		case kindFailure:
 			// The node's storage service is gone: future picks avoid it and
 			// every read it was serving restarts against another replica.
+			failureTimers--
 			failed[pd.node] = true
 			res.FailedNodes = append(res.FailedNodes, pd.node)
 			var victims []simnet.FlowID
@@ -472,6 +481,7 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 		// "immediately after start" semantics either way.
 		id := net.Start(nil, 0, fail.At+1e-9, fmt.Sprintf("fail/node%d", fail.Node))
 		inflight[id] = pending{kind: kindFailure, node: fail.Node}
+		failureTimers++
 	}
 
 	if err := func() (err error) {
