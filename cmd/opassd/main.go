@@ -6,7 +6,8 @@
 // Usage:
 //
 //	opassd [-addr :8700] [-log-format text|json] [-log-level debug|info|warn|error]
-//	       [-quiet] [-drain-timeout 15s]
+//	       [-quiet] [-drain-timeout 15s] [-max-inflight N] [-queue-wait 2s]
+//	       [-request-timeout 55s]
 //
 // Endpoints (see internal/httpapi):
 //
@@ -16,9 +17,15 @@
 //	POST /v1/simulate
 //
 // Every request is stamped with an X-Request-Id and logged as one
-// structured line. On SIGINT/SIGTERM the server stops accepting new
-// connections and drains in-flight requests for up to -drain-timeout
-// before exiting — deploys no longer drop work on the floor.
+// structured line. The expensive routes sit behind bounded admission:
+// -max-inflight caps the work units (tasks + inputs) admitted per route at
+// once, and a request that cannot be admitted within -queue-wait is shed
+// with 429 + Retry-After. Admitted requests run under the -request-timeout
+// deadline; expiry cancels the planner and the simulation cooperatively and
+// answers 503. On SIGINT/SIGTERM the server drains the admission queues
+// (queued requests get 503 immediately), stops accepting new connections,
+// and waits for in-flight requests for up to -drain-timeout before exiting
+// — deploys no longer drop work on the floor.
 //
 // Example:
 //
@@ -55,6 +62,12 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long to wait for in-flight requests on shutdown")
+	maxInflight := flag.Int64("max-inflight", httpapi.DefaultMaxInflight,
+		"admission capacity per route, in work units (tasks + inputs of concurrent requests)")
+	queueWait := flag.Duration("queue-wait", httpapi.DefaultQueueWait,
+		"how long a request may wait for admission before being shed with 429")
+	requestTimeout := flag.Duration("request-timeout", httpapi.DefaultRequestTimeout,
+		"per-request processing deadline; expiry cancels the work and answers 503")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -67,12 +80,16 @@ func main() {
 		reqLogger = nil
 	}
 
+	api := httpapi.NewServer(httpapi.ServerOptions{
+		Registry:       telemetry.NewRegistry(),
+		Logger:         reqLogger,
+		MaxInflight:    *maxInflight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *requestTimeout,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: httpapi.NewHandler(httpapi.ServerOptions{
-			Registry: telemetry.NewRegistry(),
-			Logger:   reqLogger,
-		}),
+		Addr:              *addr,
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -96,6 +113,9 @@ func main() {
 
 	logger.Info("shutting down, draining in-flight requests",
 		slog.Duration("drain_timeout", *drainTimeout))
+	// Shed the admission queues first: requests still waiting for a slot get
+	// an immediate 503 instead of being strung along into the drain window.
+	api.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

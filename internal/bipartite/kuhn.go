@@ -1,5 +1,7 @@
 package bipartite
 
+import "context"
+
 // This file implements Kuhn's augmenting-path algorithm for quota-
 // constrained maximum bipartite matching. When every task has the same
 // size — the common case in the paper's evaluation, where tasks are whole
@@ -15,6 +17,15 @@ package bipartite
 // matching size. The result size always equals the max-flow formulation's
 // (asserted by property tests); only the specific assignment may differ.
 func MatchAugmenting(g *Graph, quota []int) (owner []int, size int) {
+	owner, size, _ = MatchAugmentingContext(context.Background(), g, quota)
+	return owner, size
+}
+
+// MatchAugmentingContext is MatchAugmenting under cooperative cancellation:
+// ctx is checked before each augmenting-path search (each search is one
+// O(V+E) pass, so cancellation lands within a single search) and its error
+// is returned instead of a partial matching.
+func MatchAugmentingContext(ctx context.Context, g *Graph, quota []int) (owner []int, size int, err error) {
 	numP, numF := g.NumP(), g.NumF()
 	if len(quota) != numP {
 		panic("bipartite: quota length mismatch")
@@ -47,6 +58,9 @@ func MatchAugmenting(g *Graph, quota []int) (owner []int, size int) {
 		panic("bipartite: detach of unowned file")
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	// Greedy initialization: cheap and removes most augmentation work.
 	for f := 0; f < numF; f++ {
 		for _, e := range g.EdgesOfF(f) {
@@ -91,6 +105,9 @@ func MatchAugmenting(g *Graph, quota []int) (owner []int, size int) {
 		if owner[f] != -1 {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		for i := range visited {
 			visited[i] = false
 		}
@@ -98,5 +115,5 @@ func MatchAugmenting(g *Graph, quota []int) (owner []int, size int) {
 			size++
 		}
 	}
-	return owner, size
+	return owner, size, nil
 }

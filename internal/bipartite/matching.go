@@ -1,6 +1,9 @@
 package bipartite
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Algorithm selects the max-flow solver used by AssignMaxLocality.
 type Algorithm int
@@ -65,6 +68,17 @@ type AssignResult struct {
 // sizes[f] must be positive; quotas must be non-negative and should sum to
 // at least the total size for a full matching to be possible.
 func AssignMaxLocality(g *Graph, quotas, sizes []int64, algo Algorithm) AssignResult {
+	res, _ := AssignMaxLocalityContext(context.Background(), g, quotas, sizes, algo)
+	return res
+}
+
+// AssignMaxLocalityContext is AssignMaxLocality under cooperative
+// cancellation: the solver checks ctx between augmenting rounds and returns
+// ctx's error instead of a partial assignment when it fires.
+func AssignMaxLocalityContext(ctx context.Context, g *Graph, quotas, sizes []int64, algo Algorithm) (AssignResult, error) {
+	if err := ctx.Err(); err != nil {
+		return AssignResult{}, err
+	}
 	if len(quotas) != g.NumP() {
 		panic(fmt.Sprintf("bipartite: %d quotas for %d processes", len(quotas), g.NumP()))
 	}
@@ -108,11 +122,15 @@ func AssignMaxLocality(g *Graph, quotas, sizes []int64, algo Algorithm) AssignRe
 	}
 
 	var value int64
+	fn.SetStop(ctx.Err)
 	switch algo {
 	case Dinic:
 		value = fn.MaxFlowDinic(s, t)
 	default:
 		value = fn.MaxFlowEK(s, t)
+	}
+	if err := fn.StopErr(); err != nil {
+		return AssignResult{}, err
 	}
 
 	res := AssignResult{
@@ -148,7 +166,7 @@ func AssignMaxLocality(g *Graph, quotas, sizes []int64, algo Algorithm) AssignRe
 			res.Full = false
 		}
 	}
-	return res
+	return res, nil
 }
 
 // MaxMatchingSize computes the size of a maximum cardinality matching in g

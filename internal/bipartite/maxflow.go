@@ -20,6 +20,12 @@ type FlowNetwork struct {
 	iter  []int
 	queue []int
 	prevA []int
+
+	// stop, when non-nil, is consulted between augmenting rounds
+	// (Edmonds-Karp) and phases (Dinic); a non-nil return aborts the solve
+	// early with the flow found so far, recorded in stopErr.
+	stop    func() error
+	stopErr error
 }
 
 // NewFlowNetwork creates a network with n vertices and no arcs.
@@ -95,6 +101,31 @@ func (fn *FlowNetwork) Reset() {
 	}
 }
 
+// SetStop installs a cancellation hook (typically a context's Err method)
+// consulted between augmenting rounds and phases. A max-flow run aborted by
+// the hook returns the partial flow found so far; StopErr reports why. A nil
+// hook never stops. Installing a hook clears any previous stop error.
+func (fn *FlowNetwork) SetStop(stop func() error) {
+	fn.stop = stop
+	fn.stopErr = nil
+}
+
+// StopErr reports the error that aborted the most recent max-flow run, or
+// nil when it ran to optimality.
+func (fn *FlowNetwork) StopErr() error { return fn.stopErr }
+
+// aborted polls the stop hook, latching its first non-nil error.
+func (fn *FlowNetwork) aborted() bool {
+	if fn.stopErr != nil {
+		return true
+	}
+	if fn.stop == nil {
+		return false
+	}
+	fn.stopErr = fn.stop()
+	return fn.stopErr != nil
+}
+
 // MaxFlowEK computes the maximum s-t flow with the Edmonds-Karp algorithm —
 // Ford-Fulkerson with shortest (BFS) augmenting paths, the method the paper
 // names in §IV-B. Augmenting paths implement exactly the paper's
@@ -103,7 +134,7 @@ func (fn *FlowNetwork) Reset() {
 func (fn *FlowNetwork) MaxFlowEK(s, t int) int64 {
 	fn.checkST(s, t)
 	var total int64
-	for {
+	for !fn.aborted() {
 		// BFS for a shortest augmenting path, recording the inbound arc.
 		for i := range fn.prevA {
 			fn.prevA[i] = -1
@@ -149,6 +180,7 @@ func (fn *FlowNetwork) MaxFlowEK(s, t int) int64 {
 		}
 		total += bottleneck
 	}
+	return total
 }
 
 // MaxFlowDinic computes the maximum s-t flow with Dinic's algorithm
@@ -158,7 +190,7 @@ func (fn *FlowNetwork) MaxFlowEK(s, t int) int64 {
 func (fn *FlowNetwork) MaxFlowDinic(s, t int) int64 {
 	fn.checkST(s, t)
 	var total int64
-	for fn.bfsLevels(s, t) {
+	for !fn.aborted() && fn.bfsLevels(s, t) {
 		copy(fn.iter, fn.head)
 		for {
 			pushed := fn.dfsBlocking(s, t, math.MaxInt64)

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+func TestAssignContextCancelledUpFront(t *testing.T) {
+	single, _ := buildSingle(t, 8, 80, 1, dfs.RandomPlacement{})
+	multi := multiProblem(t, 8, 40, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		a    Assigner
+		p    *Problem
+	}{
+		{"single", SingleData{}, single},
+		{"multi", MultiData{}, multi},
+		{"greedy", GreedyLocality{}, single},
+		{"rank-fallback", RankStatic{}, single}, // no ctx support: helper still honors ctx
+	}
+	for _, c := range cases {
+		a, err := AssignContext(ctx, c.a, c.p)
+		if a != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got (%v, %v), want (nil, context.Canceled)", c.name, a, err)
+		}
+	}
+}
+
+func TestAssignContextFallbackForPlainAssigner(t *testing.T) {
+	p, _ := buildSingle(t, 4, 8, 3, dfs.RoundRobinPlacement{})
+	a, err := AssignContext(context.Background(), RankStatic{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// trippedCtx reports Canceled from its N-th Err() call onward: the first
+// check (the helper's up-front one) passes, so the planner's own interior
+// cancellation points are the ones under test.
+type trippedCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *trippedCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestPlannersPollContextInternally(t *testing.T) {
+	single, _ := buildSingle(t, 8, 80, 4, dfs.RandomPlacement{})
+	multi := multiProblem(t, 8, 40, 5)
+	cases := []struct {
+		name string
+		a    ContextAssigner
+		p    *Problem
+	}{
+		{"single", SingleData{}, single},
+		{"multi", MultiData{}, multi},
+		{"greedy", GreedyLocality{}, single},
+	}
+	for _, c := range cases {
+		ctx := &trippedCtx{Context: context.Background(), after: 1}
+		a, err := AssignContext(ctx, c.a, c.p)
+		if a != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: got (%v, %v), want (nil, context.Canceled) from an interior check", c.name, a, err)
+		}
+		if ctx.calls.Load() < 2 {
+			t.Errorf("%s: planner never polled ctx internally (%d checks)", c.name, ctx.calls.Load())
+		}
+	}
+}
+
+func TestAssignContextLiveMatchesAssign(t *testing.T) {
+	// A never-cancelled context must not change the plan.
+	p, _ := buildSingle(t, 8, 80, 6, dfs.RandomPlacement{})
+	plain, err := SingleData{}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := AssignContext(context.Background(), SingleData{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LocalityFraction() != ctxed.LocalityFraction() {
+		t.Fatalf("locality differs: plain %v vs ctx %v",
+			plain.LocalityFraction(), ctxed.LocalityFraction())
+	}
+	for i := range plain.Owner {
+		if plain.Owner[i] != ctxed.Owner[i] {
+			t.Fatalf("owner[%d] differs: %d vs %d", i, plain.Owner[i], ctxed.Owner[i])
+		}
+	}
+}

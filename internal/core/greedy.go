@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -29,6 +30,12 @@ func (GreedyLocality) Name() string { return "opass-greedy" }
 
 // Assign implements Assigner.
 func (g GreedyLocality) Assign(p *Problem) (*Assignment, error) {
+	return g.AssignContext(context.Background(), p)
+}
+
+// AssignContext implements ContextAssigner: the O(m·n) candidate sweep —
+// this planner's dominant cost — polls ctx every few hundred tasks.
+func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,6 +45,9 @@ func (g GreedyLocality) Assign(p *Problem) (*Assignment, error) {
 	// Co-located processes per task (the task's admissible set).
 	cand := make([][]int, n)
 	for t := 0; t < n; t++ {
+		if t%indexCtxStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		for proc := 0; proc < m; proc++ {
 			if p.CoLocatedMB(proc, t) > 0 {
 				cand[t] = append(cand[t], proc)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -44,11 +45,23 @@ type LocalityIndex struct {
 // serially; tiny problems don't amortize the worker-pool handoff.
 const indexParallelThreshold = 256
 
+// indexCtxStride is how many per-task accumulations run between context
+// polls during the index build (serially and per worker).
+const indexCtxStride = 512
+
 // NewLocalityIndex builds the index in O(edges) by walking each task's
 // inputs through the chunk→replica and node→process inversions. The
 // independent per-task accumulations are fanned out over a bounded
 // GOMAXPROCS worker pool on large problems.
 func NewLocalityIndex(p *Problem) *LocalityIndex {
+	ix, _ := NewLocalityIndexContext(context.Background(), p)
+	return ix
+}
+
+// NewLocalityIndexContext is NewLocalityIndex under cooperative
+// cancellation: the build (including its worker fan-out) polls ctx every
+// indexCtxStride tasks and returns ctx's error instead of a partial index.
+func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, error) {
 	m, n := p.NumProcs(), len(p.Tasks)
 	ix := &LocalityIndex{p: p, byTask: make([][]LocalityEdge, n)}
 
@@ -120,6 +133,9 @@ func NewLocalityIndex(p *Problem) *LocalityIndex {
 	if n < indexParallelThreshold || workers <= 1 {
 		s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
 		for t := 0; t < n; t++ {
+			if t%indexCtxStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			buildTask(s, t)
 		}
 	} else {
@@ -133,7 +149,10 @@ func NewLocalityIndex(p *Problem) *LocalityIndex {
 			go func() {
 				defer wg.Done()
 				s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
-				for {
+				for done := 0; ; done++ {
+					if done%indexCtxStride == 0 && ctx.Err() != nil {
+						return // partial build; caller returns ctx.Err()
+					}
 					t := int(next.Add(1)) - 1
 					if t >= n {
 						return
@@ -143,6 +162,11 @@ func NewLocalityIndex(p *Problem) *LocalityIndex {
 			}()
 		}
 		wg.Wait()
+		// ctx errors are sticky: if it fired at any point some worker may
+		// have bailed mid-build, so the byTask view cannot be trusted.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Transpose into the per-process view with a counting sort over one
@@ -170,7 +194,7 @@ func NewLocalityIndex(p *Problem) *LocalityIndex {
 			pos[e.Proc]++
 		}
 	}
-	return ix
+	return ix, nil
 }
 
 // NumEdges reports the number of locality edges (pairs with positive

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cmp"
+	"context"
 	"math/rand"
 	"slices"
 )
@@ -25,6 +26,16 @@ func (MultiData) Name() string { return "opass-matching" }
 
 // Assign implements Assigner.
 func (md MultiData) Assign(p *Problem) (*Assignment, error) {
+	return md.AssignContext(context.Background(), p)
+}
+
+// proposalCtxStride is how many proposals the matching loop makes between
+// context polls.
+const proposalCtxStride = 4096
+
+// AssignContext implements ContextAssigner: the index build and the
+// proposal rounds poll ctx and abort with its error.
+func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,7 +51,10 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 	// zero affinity everywhere are handled by the final repair, which is
 	// equivalent to proposing with value zero. The per-process sorts are
 	// independent, so they fan out over a bounded GOMAXPROCS worker pool.
-	ix := NewLocalityIndex(p)
+	ix, err := NewLocalityIndexContext(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	prefs := make([][]LocalityEdge, m) // proc -> edges, best first
 	parallelFor(m, func(proc int) {
 		es := ix.ProcEdges(proc)
@@ -75,6 +89,7 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 	for proc := 0; proc < m; proc++ {
 		push(proc)
 	}
+	proposals := 0
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
@@ -84,6 +99,12 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 		}
 		// Propose to the best not-yet-considered task (line 7).
 		for cursor[k] < len(prefs[k]) && counts[k] < quotas[k] {
+			proposals++
+			if proposals%proposalCtxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			e := prefs[k][cursor[k]]
 			x := e.Task
 			cursor[k]++ // record that k considered x (line 16)
@@ -103,6 +124,9 @@ func (md MultiData) Assign(p *Problem) (*Assignment, error) {
 		push(k)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Repair: tasks nobody claimed (either zero affinity everywhere or all
 	// co-located processes filled their quotas with better matches) go to
 	// the under-quota process holding the most of their data, falling back

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -203,6 +204,33 @@ type Assigner interface {
 	Name() string
 	// Assign computes a complete assignment for the problem.
 	Assign(p *Problem) (*Assignment, error)
+}
+
+// ContextAssigner is implemented by planners whose Assign supports
+// cooperative cancellation: the planner periodically polls ctx (inside its
+// flow loop, proposal rounds, and index fan-out) and returns ctx's error
+// instead of running a doomed plan to completion. The heavy planners
+// (SingleData, MultiData, GreedyLocality) implement it; the O(n) baselines
+// do not need to.
+type ContextAssigner interface {
+	Assigner
+	// AssignContext computes a complete assignment, aborting early with
+	// ctx's error once ctx is done.
+	AssignContext(ctx context.Context, p *Problem) (*Assignment, error)
+}
+
+// AssignContext runs a planner under ctx: cancellation-aware planners get
+// the context threaded through their hot loops, and any planner is at least
+// gated by an up-front check. This is the service entry point — callers that
+// own a request deadline should prefer it over calling Assign directly.
+func AssignContext(ctx context.Context, a Assigner, p *Problem) (*Assignment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ca, ok := a.(ContextAssigner); ok {
+		return ca.AssignContext(ctx, p)
+	}
+	return a.Assign(p)
 }
 
 // taskQuotas splits n tasks over m processes as evenly as possible: the

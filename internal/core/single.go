@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,6 +34,12 @@ func (SingleData) Name() string { return "opass-flow" }
 
 // Assign implements Assigner.
 func (s SingleData) Assign(p *Problem) (*Assignment, error) {
+	return s.AssignContext(context.Background(), p)
+}
+
+// AssignContext implements ContextAssigner: the locality-index fan-out and
+// the max-flow augmenting loop poll ctx and abort with its error.
+func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,7 +49,10 @@ func (s SingleData) Assign(p *Problem) (*Assignment, error) {
 		}
 	}
 	n, m := len(p.Tasks), p.NumProcs()
-	ix := NewLocalityIndex(p)
+	ix, err := NewLocalityIndexContext(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	scale := capacityScale(p)
 	g := localityGraph(p, ix, scale)
 
@@ -80,14 +90,23 @@ func (s SingleData) Assign(p *Problem) (*Assignment, error) {
 		for i, q := range quotasMB {
 			quotaTasks[i] = int(q / sizes[0])
 		}
-		owner, _ = bipartite.MatchAugmenting(g, quotaTasks)
+		owner, _, err = bipartite.MatchAugmentingContext(ctx, g, quotaTasks)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		algo := s.Algorithm
 		if algo == bipartite.Kuhn {
 			algo = bipartite.EdmondsKarp // unequal sizes: matching does not apply
 		}
-		res := bipartite.AssignMaxLocality(g, quotasMB, sizes, algo)
+		res, err := bipartite.AssignMaxLocalityContext(ctx, g, quotasMB, sizes, algo)
+		if err != nil {
+			return nil, err
+		}
 		owner = append([]int(nil), res.Owner...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	if s.Weights == nil {

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	r := buildRig(t, 8, 40, 1, dfs.RandomPlacement{})
+	a, err := core.RankStatic{}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunAssignmentContext(ctx, r.opts("rank"), a)
+	if res != nil {
+		t.Fatalf("got a partial result %+v, want nil", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The aborted-before-start run must not have touched the network.
+	if got := r.topo.Net().Active(); got != 0 {
+		t.Fatalf("network has %d active flows after pre-start abort", got)
+	}
+	if _, err := RunAssignment(r.opts("rank"), a); err != nil {
+		t.Fatalf("rerun after abort failed: %v", err)
+	}
+}
+
+func TestRunContextExpiredDeadline(t *testing.T) {
+	r := buildRig(t, 8, 40, 2, dfs.RandomPlacement{})
+	a, err := core.RankStatic{}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := RunAssignmentContext(ctx, r.opts("rank"), a)
+	if res != nil {
+		t.Fatalf("got a partial result %+v, want nil", res)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// cancellingSource cancels the run's own context after serving `after`
+// tasks — a deterministic mid-run abort with no wall-clock dependence.
+type cancellingSource struct {
+	inner  TaskSource
+	cancel context.CancelFunc
+	after  int
+	served int
+}
+
+func (s *cancellingSource) Next(proc int) (int, bool) {
+	s.served++
+	if s.served == s.after {
+		s.cancel()
+	}
+	return s.inner.Next(proc)
+}
+
+func TestRunContextMidRunCancelLeavesNetworkIdle(t *testing.T) {
+	r := buildRig(t, 8, 80, 3, dfs.RandomPlacement{})
+	a, err := core.RankStatic{}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := &cancellingSource{inner: NewListSource(a.Lists), cancel: cancel, after: 12}
+	res, err := RunContext(ctx, r.opts("rank"), src)
+	if res != nil {
+		t.Fatalf("got a partial result %+v, want nil", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abort must tear down every in-flight read so the shared network
+	// is reusable — sequential rounds share one clock.
+	if got := r.topo.Net().Active(); got != 0 {
+		t.Fatalf("network has %d active flows after mid-run abort", got)
+	}
+	res2, err := RunAssignment(r.opts("rank"), a)
+	if err != nil {
+		t.Fatalf("rerun after mid-run abort failed: %v", err)
+	}
+	if res2.TasksRun != 80 {
+		t.Fatalf("rerun executed %d tasks, want 80", res2.TasksRun)
+	}
+}
+
+func TestRunContextAbortTearsDownFailureTimers(t *testing.T) {
+	// A far-future failure timer is an in-flight simnet flow; an abort must
+	// cancel it too, or the network stays busy for the next round.
+	r := buildRig(t, 8, 80, 4, dfs.RandomPlacement{})
+	a, err := core.RankStatic{}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := r.opts("rank")
+	opts.Failures = []NodeFailure{{Node: 0, At: 1e9}}
+	src := &cancellingSource{inner: NewListSource(a.Lists), cancel: cancel, after: 10}
+	if _, err := RunContext(ctx, opts, src); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := r.topo.Net().Active(); got != 0 {
+		t.Fatalf("network has %d active flows (leaked failure timer?)", got)
+	}
+}

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -246,11 +247,30 @@ type pending struct {
 // completion callbacks.
 type abortRun struct{ err error }
 
+// stepBudget is the number of simulation events the drain loop advances
+// between cancellation checks: a cancelled context stops consuming CPU
+// within at most this many events.
+const stepBudget = 64
+
 // Run executes tasks from src until every process has drained, returning
 // the trace. The topology's network must be idle; the run may start at a
 // non-zero virtual time (sequential rounds share one clock) and all times
 // in the Result are relative to the run's start.
 func Run(opts Options, src TaskSource) (*Result, error) {
+	return RunContext(context.Background(), opts, src)
+}
+
+// RunContext is Run under cooperative cancellation: the drain loop advances
+// the simulation in stepBudget-event slices and polls ctx between slices,
+// so a cancelled or expired context aborts mid-simulation with ctx's error
+// (satisfying errors.Is against context.Canceled / context.DeadlineExceeded)
+// instead of running to completion. On abort every in-flight flow the run
+// started — reads, compute timers, failure timers — is torn down, leaving
+// the topology's network idle and reusable.
+func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: run aborted before start: %w", err)
+	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -499,7 +519,16 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 		}
 		retryWaiting()
 		for {
-			net.Run()
+			// Drain in budgeted slices instead of an uninterruptible
+			// net.Run(): between slices a cancelled context aborts the run.
+			for net.StepN(stepBudget) {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("engine: run aborted after %d events: %w", net.Completed(), err)
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: run aborted after %d events: %w", net.Completed(), err)
+			}
 			if len(waiting) == 0 {
 				break
 			}
@@ -507,6 +536,17 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 		}
 		return nil
 	}(); err != nil {
+		// Tear down whatever the aborted run left in flight (reads, compute
+		// and failure timers) so the shared network returns to idle —
+		// sequential rounds and retried requests reuse the same clock.
+		victims := make([]simnet.FlowID, 0, len(inflight))
+		for id := range inflight {
+			victims = append(victims, id)
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+		for _, id := range victims {
+			net.Cancel(id)
+		}
 		net.OnComplete(nil)
 		return nil, err
 	}
@@ -531,11 +571,17 @@ func Run(opts Options, src TaskSource) (*Result, error) {
 // RunAssignment is a convenience wrapper: execute a planned static
 // assignment.
 func RunAssignment(opts Options, a *core.Assignment) (*Result, error) {
+	return RunAssignmentContext(context.Background(), opts, a)
+}
+
+// RunAssignmentContext is RunAssignment under cooperative cancellation; see
+// RunContext for the abort semantics.
+func RunAssignmentContext(ctx context.Context, opts Options, a *core.Assignment) (*Result, error) {
 	if err := a.Validate(opts.Problem); err != nil {
 		return nil, err
 	}
 	if opts.Strategy == "" {
 		opts.Strategy = "static"
 	}
-	return Run(opts, NewListSource(a.Lists))
+	return RunContext(ctx, opts, NewListSource(a.Lists))
 }

@@ -1,0 +1,183 @@
+// Bounded admission for the expensive routes: a weighted semaphore with a
+// FIFO wait queue and a bounded queue wait. Each /v1/plan and /v1/simulate
+// request costs a work estimate derived from its size (tasks + inputs); a
+// request that cannot be admitted within the queue-wait bound is shed with
+// 429 rather than piling onto a saturated planner, and a draining server
+// rejects immediately with 503. This is the service-level backpressure the
+// locality planners sit behind — an optimal plan is worthless if the
+// scheduler serving it has collapsed under unbounded concurrency.
+package httpapi
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission outcomes surfaced to the handlers.
+var (
+	// errShed reports that the queue-wait bound expired before capacity
+	// freed up; the handler answers 429 + Retry-After.
+	errShed = errors.New("admission queue wait exceeded")
+	// errDraining reports that the server is shutting down; the handler
+	// answers 503.
+	errDraining = errors.New("server draining")
+)
+
+// waiter is one queued acquisition.
+type waiter struct {
+	weight int64
+	// admitted is written under the admitter lock before ready is closed;
+	// readers observe it only after <-ready, so the close provides the
+	// happens-before edge.
+	admitted bool
+	ready    chan struct{}
+}
+
+// admitter is a weighted semaphore with a FIFO wait queue. Admission is
+// strictly in arrival order — a fat request at the head blocks later small
+// ones rather than starving behind them forever.
+type admitter struct {
+	capacity int64
+
+	mu       sync.Mutex
+	inUse    int64
+	draining bool
+	waiters  *list.List // of *waiter, FIFO
+}
+
+// newAdmitter creates an admitter with the given total work-unit capacity.
+func newAdmitter(capacity int64) *admitter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &admitter{capacity: capacity, waiters: list.New()}
+}
+
+// clamp bounds a request weight to the admitter capacity, so a request
+// bigger than the whole budget runs alone instead of never.
+func (a *admitter) clamp(weight int64) int64 {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	return weight
+}
+
+// acquire blocks until weight units are granted, the queue-wait bound
+// expires (errShed), the admitter drains (errDraining), or ctx is cancelled
+// (ctx's error). weight must already be clamped. A nil return means the
+// grant is held and must be released.
+func (a *admitter) acquire(ctx context.Context, weight int64, maxWait time.Duration) error {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return errDraining
+	}
+	if a.waiters.Len() == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.mu.Unlock()
+		return nil
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+	case <-timer.C:
+		if a.abandon(elem) {
+			return errShed
+		}
+		<-w.ready // decided concurrently with the timeout
+	case <-ctx.Done():
+		if a.abandon(elem) {
+			return ctx.Err()
+		}
+		<-w.ready
+		if w.admitted {
+			a.release(weight) // granted to a caller that will not run
+		}
+		return ctx.Err()
+	}
+	if !w.admitted {
+		return errDraining
+	}
+	return nil
+}
+
+// abandon removes a still-queued waiter, reporting false when the waiter
+// was already decided (admitted or drained) — its ready channel is then
+// closed and the outcome stands.
+func (a *admitter) abandon(elem *list.Element) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := elem.Value.(*waiter)
+	select {
+	case <-w.ready:
+		return false
+	default:
+	}
+	a.waiters.Remove(elem)
+	return true
+}
+
+// release returns weight units (the same clamped value acquire granted) and
+// admits queued waiters that now fit.
+func (a *admitter) release(weight int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inUse -= weight
+	if a.inUse < 0 {
+		panic("httpapi: admitter released more than it granted")
+	}
+	a.admitLocked()
+}
+
+// admitLocked grants queued waiters in FIFO order while capacity allows.
+func (a *admitter) admitLocked() {
+	for e := a.waiters.Front(); e != nil; e = a.waiters.Front() {
+		w := e.Value.(*waiter)
+		if a.inUse+w.weight > a.capacity {
+			return
+		}
+		a.waiters.Remove(e)
+		a.inUse += w.weight
+		w.admitted = true
+		close(w.ready)
+	}
+}
+
+// drain flips the admitter into shutdown mode: every queued waiter wakes
+// with errDraining and every future acquire fails immediately. Grants
+// already held stay valid until released, so in-flight requests finish.
+func (a *admitter) drain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	for e := a.waiters.Front(); e != nil; e = a.waiters.Front() {
+		w := e.Value.(*waiter)
+		a.waiters.Remove(e)
+		close(w.ready) // admitted stays false: the waiter reads errDraining
+	}
+}
+
+// inFlight reports the work units currently granted (tests and gauges).
+func (a *admitter) inFlight() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// queueLen reports how many acquisitions are waiting.
+func (a *admitter) queueLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiters.Len()
+}

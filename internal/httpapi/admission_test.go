@@ -1,0 +1,150 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestAdmitterFastPath(t *testing.T) {
+	a := newAdmitter(10)
+	if err := a.acquire(context.Background(), 4, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(context.Background(), 6, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inFlight(); got != 10 {
+		t.Fatalf("inFlight = %d, want 10", got)
+	}
+	a.release(4)
+	a.release(6)
+	if got := a.inFlight(); got != 0 {
+		t.Fatalf("inFlight = %d after release, want 0", got)
+	}
+}
+
+func TestAdmitterClamp(t *testing.T) {
+	a := newAdmitter(10)
+	if got := a.clamp(0); got != 1 {
+		t.Fatalf("clamp(0) = %d, want 1", got)
+	}
+	if got := a.clamp(1 << 40); got != 10 {
+		t.Fatalf("clamp(huge) = %d, want capacity 10", got)
+	}
+	if got := a.clamp(7); got != 7 {
+		t.Fatalf("clamp(7) = %d, want 7", got)
+	}
+}
+
+func TestAdmitterShedsOnQueueTimeout(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.acquire(context.Background(), 1, 20*time.Millisecond)
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shed took %v, want about the 20ms bound", elapsed)
+	}
+	if got := a.queueLen(); got != 0 {
+		t.Fatalf("queueLen = %d after shed, want 0 (waiter removed)", got)
+	}
+	// The shed waiter must not have consumed capacity.
+	a.release(1)
+	if err := a.acquire(context.Background(), 1, time.Second); err != nil {
+		t.Fatalf("acquire after shed+release: %v", err)
+	}
+}
+
+func TestAdmitterFIFONoOvertaking(t *testing.T) {
+	a := newAdmitter(10)
+	if err := a.acquire(context.Background(), 9, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Queue a fat waiter, then a small one that would fit right now
+	// (9+1 <= 10) but must not overtake the FIFO head.
+	bigDone := make(chan error, 1)
+	go func() { bigDone <- a.acquire(context.Background(), 5, time.Minute) }()
+	waitFor(t, "big waiter queued", func() bool { return a.queueLen() == 1 })
+	smallDone := make(chan error, 1)
+	go func() { smallDone <- a.acquire(context.Background(), 1, time.Minute) }()
+	waitFor(t, "small waiter queued", func() bool { return a.queueLen() == 2 })
+	select {
+	case err := <-smallDone:
+		t.Fatalf("small waiter overtook the queue head: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	a.release(9)
+	// Capacity 10: the fat waiter (5) and then the small one (1) both fit.
+	if err := <-bigDone; err != nil {
+		t.Fatalf("big waiter: %v", err)
+	}
+	if err := <-smallDone; err != nil {
+		t.Fatalf("small waiter: %v", err)
+	}
+	if got := a.inFlight(); got != 6 {
+		t.Fatalf("inFlight = %d, want 6", got)
+	}
+}
+
+func TestAdmitterDrain(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(context.Background(), 1, time.Minute) }()
+	waitFor(t, "waiter queued", func() bool { return a.queueLen() == 1 })
+	a.drain()
+	if err := <-queued; !errors.Is(err, errDraining) {
+		t.Fatalf("queued waiter err = %v, want errDraining", err)
+	}
+	if err := a.acquire(context.Background(), 1, time.Second); !errors.Is(err, errDraining) {
+		t.Fatalf("new acquire err = %v, want errDraining", err)
+	}
+	// The pre-drain grant stays valid and its release still balances.
+	a.release(1)
+	if got := a.inFlight(); got != 0 {
+		t.Fatalf("inFlight = %d, want 0", got)
+	}
+}
+
+func TestAdmitterCtxCancelWhileQueued(t *testing.T) {
+	a := newAdmitter(1)
+	if err := a.acquire(context.Background(), 1, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx, 1, time.Minute) }()
+	waitFor(t, "waiter queued", func() bool { return a.queueLen() == 1 })
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned waiter must not leak capacity: after releasing the
+	// original grant the admitter is fully idle.
+	a.release(1)
+	waitFor(t, "capacity restored", func() bool { return a.inFlight() == 0 })
+	if err := a.acquire(context.Background(), 1, time.Second); err != nil {
+		t.Fatalf("acquire after cancel+release: %v", err)
+	}
+}

@@ -18,14 +18,25 @@
 // line, and counted by route/status; planner latency and achieved locality
 // are recorded per strategy, and each simulation updates engine gauges
 // (makespan, tasks run, retries) — see internal/telemetry.
+//
+// Request lifecycle: the expensive routes sit behind bounded admission (a
+// per-route weighted semaphore sized in work units, with a bounded queue
+// wait — see admission.go) and run under a per-request deadline. A request
+// that cannot be admitted in time is shed with 429 + Retry-After; a
+// draining server sheds with 503; a request whose deadline expires or whose
+// client disconnects is cancelled cooperatively all the way through the
+// planner's flow loops and the simulation's event loop, releasing its
+// admission grant promptly instead of burning CPU for an absent client.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"opass/internal/cluster"
@@ -50,14 +61,48 @@ const (
 	MetricSimLastRetries   = "opass_sim_last_retries"
 	MetricSimLastLocality  = "opass_sim_last_local_fraction"
 	MetricRequestsRejected = "opass_requests_rejected_total"
+	// MetricRequestsShed counts requests refused by the admission layer,
+	// by route and reason (queue_timeout, draining).
+	MetricRequestsShed = "opass_requests_shed_total"
+	// MetricRequestsCancelled counts admitted requests abandoned mid-work,
+	// by route and reason (deadline, disconnect).
+	MetricRequestsCancelled = "opass_requests_cancelled_total"
+	// MetricRequestQueueSeconds observes time spent waiting for admission.
+	MetricRequestQueueSeconds = "opass_request_queue_seconds"
+	// MetricResponseErrors counts response bodies that failed to encode or
+	// write (typically the client hanging up mid-body).
+	MetricResponseErrors = "opass_response_write_errors_total"
 )
 
-// Limits protecting the decoder from hostile or fat-fingered payloads.
+// Limits protecting the decoder and the planners from hostile or
+// fat-fingered payloads.
 const (
-	maxBodyBytes = 32 << 20
-	maxNodes     = 1 << 16
-	maxProcs     = 1 << 16
+	maxBodyBytes     = 32 << 20
+	maxNodes         = 1 << 16
+	maxProcs         = 1 << 16
+	maxTasks         = 1 << 16
+	maxInputsPerTask = 1 << 10
 )
+
+// Admission and deadline defaults; ServerOptions overrides them and opassd
+// exposes them as flags.
+const (
+	// DefaultMaxInflight is the per-route admission capacity in work units
+	// (one unit per task plus one per input across concurrent requests).
+	DefaultMaxInflight = 1 << 18
+	// DefaultQueueWait bounds how long a request may wait for admission
+	// before being shed with 429.
+	DefaultQueueWait = 2 * time.Second
+	// DefaultRequestTimeout is the per-request processing deadline, kept
+	// below opassd's 60s WriteTimeout so the service cancels work while the
+	// client can still be told about it.
+	DefaultRequestTimeout = 55 * time.Second
+)
+
+// statusClientClosedRequest is the nginx-convention status recorded when
+// the client disconnected before the response; it is never seen by the
+// (absent) client but keeps the telemetry middleware's status label honest.
+const statusClientClosedRequest = 499
 
 // InputSpec is one data dependency of a task: its size and the nodes
 // holding a replica (as reported by the namenode).
@@ -104,18 +149,59 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// ServerOptions configures the handler's telemetry.
+// apiError pairs an HTTP status with the rejection-reason bucket the
+// rejected-requests counter records.
+type apiError struct {
+	status int
+	reason string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+
+// badRequest builds a 400 apiError bucketed under reason.
+func badRequest(reason, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, reason: reason, err: fmt.Errorf(format, args...)}
+}
+
+// ServerOptions configures the handler's telemetry and admission limits.
 type ServerOptions struct {
 	// Registry receives service metrics; nil creates a private one.
 	Registry *telemetry.Registry
 	// Logger receives one structured line per request; nil disables
 	// request logging.
 	Logger *slog.Logger
+	// MaxInflight is the per-route admission capacity in work units
+	// (tasks + inputs of concurrently admitted requests); 0 means
+	// DefaultMaxInflight.
+	MaxInflight int64
+	// QueueWait bounds the admission wait before a request is shed with
+	// 429; 0 means DefaultQueueWait.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request processing deadline; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+}
+
+// Server is the Opass planning service: an http.Handler plus the drain
+// control a graceful shutdown needs.
+type Server struct {
+	reg        *telemetry.Registry
+	logger     *slog.Logger
+	handler    http.Handler
+	planAdmit  *admitter
+	simAdmit   *admitter
+	queueWait  time.Duration
+	reqTimeout time.Duration
 }
 
 // Handler returns the service's HTTP handler with default telemetry (a
-// private registry, no request logging).
-func Handler() http.Handler { return NewHandler(ServerOptions{}) }
+// private registry, no request logging) and default limits.
+func Handler() http.Handler { return NewServer(ServerOptions{}) }
+
+// NewHandler returns the service's HTTP handler wired to the given
+// telemetry sinks and limits.
+func NewHandler(opts ServerOptions) http.Handler { return NewServer(opts) }
 
 // routeLabel bounds metric label cardinality to the known route set.
 func routeLabel(r *http.Request) string {
@@ -127,9 +213,9 @@ func routeLabel(r *http.Request) string {
 	}
 }
 
-// NewHandler returns the service's HTTP handler wired to the given
-// telemetry sinks.
-func NewHandler(opts ServerOptions) http.Handler {
+// NewServer builds the service wired to the given telemetry sinks and
+// admission limits.
+func NewServer(opts ServerOptions) *Server {
 	reg := opts.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -145,6 +231,31 @@ func NewHandler(opts ServerOptions) http.Handler {
 	reg.Help(MetricSimLastRetries, "Retried reads in the most recent simulation.")
 	reg.Help(MetricSimLastLocality, "Achieved local-read fraction of the most recent simulation.")
 	reg.Help(MetricRequestsRejected, "Requests rejected before planning, by reason.")
+	reg.Help(MetricRequestsShed, "Requests refused by the admission layer, by route and reason.")
+	reg.Help(MetricRequestsCancelled, "Admitted requests abandoned mid-work, by route and reason.")
+	reg.Help(MetricRequestQueueSeconds, "Time spent waiting for admission, by route.")
+	reg.Help(MetricResponseErrors, "Response bodies that failed to write, by route.")
+
+	maxInflight := opts.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
+	queueWait := opts.QueueWait
+	if queueWait <= 0 {
+		queueWait = DefaultQueueWait
+	}
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout <= 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		reg:        reg,
+		logger:     opts.Logger,
+		planAdmit:  newAdmitter(maxInflight),
+		simAdmit:   newAdmitter(maxInflight),
+		queueWait:  queueWait,
+		reqTimeout: reqTimeout,
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -155,74 +266,197 @@ func NewHandler(opts ServerOptions) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
-		req, prob, status, err := decodeProblem(r)
-		if err != nil {
-			reg.Counter(MetricRequestsRejected, telemetry.L("reason", rejectReason(status))).Inc()
-			writeJSON(w, status, errorBody{Error: err.Error()})
-			return
-		}
-		resp, _, status, err := plan(reg, req, prob)
-		if err != nil {
-			writeJSON(w, status, errorBody{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
-		req, prob, status, err := decodeProblem(r)
-		if err != nil {
-			reg.Counter(MetricRequestsRejected, telemetry.L("reason", rejectReason(status))).Inc()
-			writeJSON(w, status, errorBody{Error: err.Error()})
-			return
-		}
-		resp, assignment, status, err := plan(reg, req, prob)
-		if err != nil {
-			writeJSON(w, status, errorBody{Error: err.Error()})
-			return
-		}
-		topo := cluster.New(req.Nodes, cluster.Marmot())
-		// Rebuild the problem against the simulation topology (the layout
-		// FS carries no hardware).
-		res, err := engine.RunAssignment(engine.Options{
-			Topo: topo, FS: prob.FS, Problem: prob, Strategy: resp.Strategy,
-		}, assignment)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
-			return
-		}
-		// Engine counters surface as gauges (last run) and counters
-		// (lifetime totals) so load tests can watch throughput live.
-		reg.Counter(MetricSimRuns).Inc()
-		reg.Counter(MetricSimTasks).Add(float64(res.TasksRun))
-		reg.Counter(MetricSimRetries).Add(float64(res.Retries))
-		reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
-		reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
-		reg.Gauge(MetricSimLastRetries).Set(float64(res.Retries))
-		reg.Gauge(MetricSimLastLocality).Set(res.LocalFraction())
-		writeJSON(w, http.StatusOK, SimulateResponse{Plan: resp, Summary: traceio.Summarize(res)})
-	})
-	return telemetry.Middleware{Reg: reg, Logger: opts.Logger, Route: routeLabel}.Wrap(mux)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.handler = telemetry.Middleware{Reg: reg, Logger: opts.Logger, Route: routeLabel}.Wrap(mux)
+	return s
 }
 
-// rejectReason buckets a decode failure status for the rejection counter.
-func rejectReason(status int) string {
-	switch status {
-	case http.StatusRequestEntityTooLarge:
-		return "too_large"
-	case http.StatusBadRequest:
-		return "invalid"
-	default:
-		return "internal"
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Drain flips both admitters into shutdown mode: queued requests shed with
+// 503 immediately and new ones are refused, while admitted requests run to
+// completion. Call it before http.Server.Shutdown so keep-alive connections
+// cannot sneak fat requests into a draining process.
+func (s *Server) Drain() {
+	s.planAdmit.drain()
+	s.simAdmit.drain()
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	req, prob, apiErr := decodeProblem(r)
+	if apiErr != nil {
+		s.reject(w, r, apiErr)
+		return
 	}
+	release, ok := s.admit(w, r, s.planAdmit, workWeight(req))
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+	defer cancel()
+	resp, _, err := s.plan(ctx, req, prob)
+	if err != nil {
+		s.planFailed(w, r, err)
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, prob, apiErr := decodeProblem(r)
+	if apiErr != nil {
+		s.reject(w, r, apiErr)
+		return
+	}
+	release, ok := s.admit(w, r, s.simAdmit, workWeight(req))
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+	defer cancel()
+	resp, assignment, err := s.plan(ctx, req, prob)
+	if err != nil {
+		s.planFailed(w, r, err)
+		return
+	}
+	topo := cluster.New(req.Nodes, cluster.Marmot())
+	// Rebuild the problem against the simulation topology (the layout
+	// FS carries no hardware).
+	res, err := engine.RunAssignmentContext(ctx, engine.Options{
+		Topo: topo, FS: prob.FS, Problem: prob, Strategy: resp.Strategy,
+	}, assignment)
+	if err != nil {
+		if s.aborted(w, r, err) {
+			return
+		}
+		s.writeJSON(w, r, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	// Engine counters surface as gauges (last run) and counters
+	// (lifetime totals) so load tests can watch throughput live.
+	s.reg.Counter(MetricSimRuns).Inc()
+	s.reg.Counter(MetricSimTasks).Add(float64(res.TasksRun))
+	s.reg.Counter(MetricSimRetries).Add(float64(res.Retries))
+	s.reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
+	s.reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
+	s.reg.Gauge(MetricSimLastRetries).Set(float64(res.Retries))
+	s.reg.Gauge(MetricSimLastLocality).Set(res.LocalFraction())
+	s.writeJSON(w, r, http.StatusOK, SimulateResponse{Plan: resp, Summary: traceio.Summarize(res)})
+}
+
+// reject answers a decode failure, bucketing it in the rejection counter.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, apiErr *apiError) {
+	s.reg.Counter(MetricRequestsRejected, telemetry.L("reason", apiErr.reason)).Inc()
+	s.writeJSON(w, r, apiErr.status, errorBody{Error: apiErr.Error()})
+}
+
+// workWeight estimates a request's planner + simulation work in admission
+// units: one per task plus one per input (planner cost scales with locality
+// edges, simulation cost with read flows — both proportional to inputs).
+func workWeight(req *PlanRequest) int64 {
+	w := int64(len(req.Tasks))
+	for i := range req.Tasks {
+		w += int64(len(req.Tasks[i].Inputs))
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// admit passes the request through the route's admission gate, recording
+// queue wait and shed/cancel outcomes. ok=false means the response has
+// already been written; otherwise release must be called when done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, a *admitter, weight int64) (release func(), ok bool) {
+	route := telemetry.L("route", routeLabel(r))
+	weight = a.clamp(weight)
+	start := time.Now()
+	err := a.acquire(r.Context(), weight, s.queueWait)
+	s.reg.Histogram(MetricRequestQueueSeconds, nil, route).Observe(time.Since(start).Seconds())
+	switch {
+	case err == nil:
+		return func() { a.release(weight) }, true
+	case errors.Is(err, errShed):
+		s.reg.Counter(MetricRequestsShed, route, telemetry.L("reason", "queue_timeout")).Inc()
+		// Retry-After: the queue-wait bound is the natural horizon after
+		// which a retry has a fresh chance at the queue.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.queueWait)))
+		s.writeJSON(w, r, http.StatusTooManyRequests, errorBody{Error: "server saturated; retry later"})
+	case errors.Is(err, errDraining):
+		s.reg.Counter(MetricRequestsShed, route, telemetry.L("reason", "draining")).Inc()
+		s.writeJSON(w, r, http.StatusServiceUnavailable, errorBody{Error: "server draining"})
+	default: // client went away while queued
+		s.reg.Counter(MetricRequestsCancelled, route, telemetry.L("reason", "disconnect")).Inc()
+		w.WriteHeader(statusClientClosedRequest)
+	}
+	return nil, false
+}
+
+// retryAfterSeconds renders a wait bound as a whole-second Retry-After
+// value, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// aborted maps a context error from the planner or the engine to the
+// cancelled counter and the right status, reporting whether it handled err.
+func (s *Server) aborted(w http.ResponseWriter, r *http.Request, err error) bool {
+	route := telemetry.L("route", routeLabel(r))
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter(MetricRequestsCancelled, route, telemetry.L("reason", "deadline")).Inc()
+		s.writeJSON(w, r, http.StatusServiceUnavailable, errorBody{Error: "request deadline exceeded"})
+		return true
+	case errors.Is(err, context.Canceled):
+		s.reg.Counter(MetricRequestsCancelled, route, telemetry.L("reason", "disconnect")).Inc()
+		w.WriteHeader(statusClientClosedRequest) // client is gone; best effort
+		return true
+	}
+	return false
+}
+
+// planFailed answers a planner error, distinguishing cancellation from
+// genuine failures.
+func (s *Server) planFailed(w http.ResponseWriter, r *http.Request, err error) {
+	if s.aborted(w, r, err) {
+		return
+	}
+	var apiErr *apiError
+	if errors.As(err, &apiErr) {
+		s.writeJSON(w, r, apiErr.status, errorBody{Error: apiErr.Error()})
+		return
+	}
+	s.writeJSON(w, r, http.StatusInternalServerError, errorBody{Error: err.Error()})
+}
+
+// writeJSON writes the response envelope. An encode failure — typically the
+// client hanging up mid-body — is logged and counted instead of silently
+// letting the telemetry middleware record a clean response.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.reg.Counter(MetricResponseErrors, telemetry.L("route", routeLabel(r))).Inc()
+		if s.logger != nil {
+			s.logger.Warn("response write failed",
+				slog.String("id", telemetry.RequestID(r.Context())),
+				slog.String("route", routeLabel(r)),
+				slog.Int("status", status),
+				slog.Any("error", err))
+		}
+	}
 }
 
 // layoutView is the minimal cluster view for a submitted layout.
@@ -233,32 +467,46 @@ func (v layoutView) RackOf(int) int { return 0 }
 
 // decodeProblem parses and validates a request into a core.Problem backed
 // by an in-memory file system that mirrors the submitted block layout.
-func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
+func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, *apiError) {
 	var req PlanRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, nil, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+			return nil, nil, &apiError{
+				status: http.StatusRequestEntityTooLarge, reason: "too_large",
+				err: fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
+			}
 		}
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+		return nil, nil, badRequest("invalid", "bad request body: %w", err)
 	}
 	if req.Nodes <= 0 {
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("nodes must be positive")
+		return nil, nil, badRequest("invalid", "nodes must be positive")
 	}
 	if req.Nodes > maxNodes {
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("nodes %d exceeds maximum %d", req.Nodes, maxNodes)
+		return nil, nil, badRequest("invalid", "nodes %d exceeds maximum %d", req.Nodes, maxNodes)
 	}
 	if len(req.Tasks) == 0 {
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("tasks must be non-empty")
+		return nil, nil, badRequest("invalid", "tasks must be non-empty")
+	}
+	// Cap planner work before any of it happens: a 32 MiB body of
+	// one-replica micro-tasks must not drive unbounded planning.
+	if len(req.Tasks) > maxTasks {
+		return nil, nil, badRequest("too_many_tasks",
+			"request lists %d tasks, exceeding maximum %d", len(req.Tasks), maxTasks)
+	}
+	for ti := range req.Tasks {
+		if len(req.Tasks[ti].Inputs) > maxInputsPerTask {
+			return nil, nil, badRequest("too_many_inputs",
+				"task %d lists %d inputs, exceeding maximum %d per task", ti, len(req.Tasks[ti].Inputs), maxInputsPerTask)
+		}
 	}
 	// Validate proc_nodes up front with specific messages — the shape
 	// errors must not fall through to the planner's generic Validate.
 	if len(req.ProcNodes) > maxProcs {
-		return nil, nil, http.StatusBadRequest,
-			fmt.Errorf("proc_nodes lists %d processes, exceeding maximum %d", len(req.ProcNodes), maxProcs)
+		return nil, nil, badRequest("invalid",
+			"proc_nodes lists %d processes, exceeding maximum %d", len(req.ProcNodes), maxProcs)
 	}
 	procNodes := req.ProcNodes
 	if len(procNodes) == 0 {
@@ -269,8 +517,7 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 	}
 	for i, n := range procNodes {
 		if n < 0 || n >= req.Nodes {
-			return nil, nil, http.StatusBadRequest,
-				fmt.Errorf("proc_nodes[%d] = %d outside [0,%d)", i, n, req.Nodes)
+			return nil, nil, badRequest("invalid", "proc_nodes[%d] = %d outside [0,%d)", i, n, req.Nodes)
 		}
 	}
 	// Mirror the layout into an in-memory FS: each input becomes a chunk
@@ -293,34 +540,34 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 	prob := &core.Problem{ProcNode: procNodes, FS: fs}
 	for ti, task := range req.Tasks {
 		if len(task.Inputs) == 0 {
-			return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d has no inputs", ti)
+			return nil, nil, badRequest("invalid", "task %d has no inputs", ti)
 		}
 		coreTask := core.Task{ID: ti}
 		for ii, in := range task.Inputs {
 			if in.SizeMB <= 0 {
-				return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: size_mb must be positive", ti, ii)
+				return nil, nil, badRequest("invalid", "task %d input %d: size_mb must be positive", ti, ii)
 			}
 			if len(in.Replicas) == 0 {
-				return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: replicas must be non-empty", ti, ii)
+				return nil, nil, badRequest("invalid", "task %d input %d: replicas must be non-empty", ti, ii)
 			}
 			seen := map[int]bool{}
 			for _, rep := range in.Replicas {
 				if rep < 0 || rep >= req.Nodes {
-					return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: replica node %d outside cluster", ti, ii, rep)
+					return nil, nil, badRequest("invalid", "task %d input %d: replica node %d outside cluster", ti, ii, rep)
 				}
 				if seen[rep] {
-					return nil, nil, http.StatusBadRequest, fmt.Errorf("task %d input %d: duplicate replica node %d", ti, ii, rep)
+					return nil, nil, badRequest("invalid", "task %d input %d: duplicate replica node %d", ti, ii, rep)
 				}
 				seen[rep] = true
 			}
 			f, err := fs.CreateChunks(fmt.Sprintf("/layout/t%d/i%d", ti, ii), []float64{in.SizeMB})
 			if err != nil {
-				return nil, nil, http.StatusInternalServerError, err
+				return nil, nil, &apiError{status: http.StatusInternalServerError, reason: "internal", err: err}
 			}
 			id := f.Chunks[0]
 			for _, rep := range in.Replicas[1:] {
 				if err := fs.AddReplica(id, rep); err != nil {
-					return nil, nil, http.StatusInternalServerError, err
+					return nil, nil, &apiError{status: http.StatusInternalServerError, reason: "internal", err: err}
 				}
 			}
 			coreTask.Inputs = append(coreTask.Inputs, core.Input{Chunk: id, SizeMB: in.SizeMB})
@@ -328,14 +575,14 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, int, error) {
 		prob.Tasks = append(prob.Tasks, coreTask)
 	}
 	if err := prob.Validate(); err != nil {
-		return nil, nil, http.StatusBadRequest, err
+		return nil, nil, badRequest("invalid", "%w", err)
 	}
-	return &req, prob, http.StatusOK, nil
+	return &req, prob, nil
 }
 
-// plan runs the requested strategy over the decoded problem, recording
-// per-strategy planner latency and achieved locality.
-func plan(reg *telemetry.Registry, req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, int, error) {
+// plan runs the requested strategy over the decoded problem under ctx,
+// recording per-strategy planner latency and achieved locality.
+func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, error) {
 	multi := false
 	for i := range prob.Tasks {
 		if len(prob.Tasks[i].Inputs) > 1 {
@@ -358,23 +605,23 @@ func plan(reg *telemetry.Registry, req *PlanRequest, prob *core.Problem) (PlanRe
 	case "greedy":
 		assigner = core.GreedyLocality{Seed: req.Seed}
 	default:
-		return PlanResponse{}, nil, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy)
+		return PlanResponse{}, nil, badRequest("invalid", "unknown strategy %q", req.Strategy)
 	}
 	start := time.Now()
-	a, err := assigner.Assign(prob)
+	a, err := core.AssignContext(ctx, assigner, prob)
 	elapsed := time.Since(start)
 	if err != nil {
-		return PlanResponse{}, nil, http.StatusInternalServerError, err
+		return PlanResponse{}, nil, err
 	}
 	strategy := telemetry.L("strategy", assigner.Name())
-	reg.Histogram(MetricPlannerLatency, nil, strategy).Observe(elapsed.Seconds())
-	reg.Histogram(MetricPlanLocality, telemetry.FractionBuckets, strategy).Observe(a.LocalityFraction())
-	reg.Counter(MetricPlans, strategy).Inc()
+	s.reg.Histogram(MetricPlannerLatency, nil, strategy).Observe(elapsed.Seconds())
+	s.reg.Histogram(MetricPlanLocality, telemetry.FractionBuckets, strategy).Observe(a.LocalityFraction())
+	s.reg.Counter(MetricPlans, strategy).Inc()
 	return PlanResponse{
 		Strategy:         assigner.Name(),
 		Owner:            a.Owner,
 		Lists:            a.Lists,
 		LocalityFraction: a.LocalityFraction(),
 		PlannerMillis:    float64(elapsed.Microseconds()) / 1000,
-	}, a, http.StatusOK, nil
+	}, a, nil
 }

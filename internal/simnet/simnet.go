@@ -441,6 +441,20 @@ func (n *Network) Run() float64 {
 	return n.now
 }
 
+// StepN advances the simulation by up to budget events, stopping early when
+// no flows remain. It reports whether flows remain — the budgeted drain
+// slice cooperative cancellation runs on: callers interleave StepN with
+// cancellation checks instead of an uninterruptible Run. A non-positive
+// budget advances nothing and just reports activity.
+func (n *Network) StepN(budget int) bool {
+	for i := 0; i < budget; i++ {
+		if !n.Step() {
+			return false
+		}
+	}
+	return len(n.flows) > 0
+}
+
 // RunUntil advances the simulation until the clock reaches deadline or no
 // flows remain, whichever comes first. It reports whether flows remain.
 func (n *Network) RunUntil(deadline float64) bool {

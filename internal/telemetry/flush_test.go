@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	// The statusRecorder wrapper must expose the underlying writer through
+	// Unwrap, or http.ResponseController loses Flush (and every other
+	// optional interface) for handlers behind the middleware.
+	reg := NewRegistry()
+	var flushErr error = http.ErrNotSupported
+	h := Middleware{Reg: reg}.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		flushErr = http.NewResponseController(w).Flush()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if flushErr != nil {
+		t.Fatalf("Flush through the middleware failed: %v", flushErr)
+	}
+	if !rec.Flushed {
+		t.Fatal("flush never reached the underlying ResponseWriter")
+	}
+}

@@ -67,6 +67,12 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Unwrap exposes the underlying ResponseWriter so http.ResponseController
+// can reach optional interfaces (Flusher, deadline control) through the
+// wrapper — without it, streaming handlers behind the middleware lose the
+// ability to flush.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // Middleware instruments an http.Handler. Reg must be non-nil; Logger nil
 // disables request logging; Route nil uses the raw URL path as the route
 // label (fine for a fixed route set, a cardinality hazard otherwise).
