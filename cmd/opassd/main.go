@@ -7,7 +7,8 @@
 //
 //	opassd [-addr :8700] [-log-format text|json] [-log-level debug|info|warn|error]
 //	       [-quiet] [-drain-timeout 15s] [-max-inflight N] [-queue-wait 2s]
-//	       [-request-timeout 55s]
+//	       [-request-timeout 55s] [-plan-cache-entries 4096] [-plan-cache-mb 64]
+//	       [-plan-cache-ttl 5m]
 //
 // Endpoints (see internal/httpapi):
 //
@@ -22,7 +23,15 @@
 // once, and a request that cannot be admitted within -queue-wait is shed
 // with 429 + Retry-After. Admitted requests run under the -request-timeout
 // deadline; expiry cancels the planner and the simulation cooperatively and
-// answers 503. On SIGINT/SIGTERM the server drains the admission queues
+// answers 503.
+//
+// Identical plan requests are answered from a fingerprinted plan cache
+// (concurrent identical requests share one planner run): -plan-cache-entries
+// and -plan-cache-mb bound it, -plan-cache-ttl bounds entry age (0 means
+// entries never expire), and -plan-cache-entries=0 disables caching. Cache
+// effectiveness is visible at /metrics as opass_plan_cache_*.
+//
+// On SIGINT/SIGTERM the server drains the admission queues
 // (queued requests get 503 immediately), stops accepting new connections,
 // and waits for in-flight requests for up to -drain-timeout before exiting
 // — deploys no longer drop work on the floor.
@@ -68,7 +77,25 @@ func main() {
 		"how long a request may wait for admission before being shed with 429")
 	requestTimeout := flag.Duration("request-timeout", httpapi.DefaultRequestTimeout,
 		"per-request processing deadline; expiry cancels the work and answers 503")
+	planCacheEntries := flag.Int("plan-cache-entries", httpapi.DefaultPlanCacheEntries,
+		"maximum cached plans; 0 disables the plan cache entirely")
+	planCacheMB := flag.Int("plan-cache-mb", httpapi.DefaultPlanCacheMB,
+		"maximum memory the plan cache may hold, in MiB")
+	planCacheTTL := flag.Duration("plan-cache-ttl", httpapi.DefaultPlanCacheTTL,
+		"maximum age of a cached plan; 0 means cached plans never expire")
 	flag.Parse()
+
+	// Map the CLI's "0 disables / 0 never expires" convention onto the
+	// ServerOptions convention, where 0 means "use the default" and negative
+	// values carry the disable/never-expire meanings.
+	entriesOpt := *planCacheEntries
+	if entriesOpt <= 0 {
+		entriesOpt = -1
+	}
+	ttlOpt := *planCacheTTL
+	if ttlOpt <= 0 {
+		ttlOpt = -1
+	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -81,11 +108,14 @@ func main() {
 	}
 
 	api := httpapi.NewServer(httpapi.ServerOptions{
-		Registry:       telemetry.NewRegistry(),
-		Logger:         reqLogger,
-		MaxInflight:    *maxInflight,
-		QueueWait:      *queueWait,
-		RequestTimeout: *requestTimeout,
+		Registry:         telemetry.NewRegistry(),
+		Logger:           reqLogger,
+		MaxInflight:      *maxInflight,
+		QueueWait:        *queueWait,
+		RequestTimeout:   *requestTimeout,
+		PlanCacheEntries: entriesOpt,
+		PlanCacheMB:      *planCacheMB,
+		PlanCacheTTL:     ttlOpt,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file defines the canonical binary encoding of an assignment problem,
+// the content that a plan fingerprint hashes. An Opass plan is a pure
+// function of (process placement, task inputs, replica placement, strategy
+// + its parameters): the encoding captures the problem side of that tuple
+// exactly — the proc→node map, every task's inputs with chunk identity and
+// size, and each referenced chunk's replica list — plus the file system's
+// placement epoch, so any placement mutation anywhere in the FS (not just
+// on the referenced chunks) invalidates fingerprints derived from it.
+//
+// The encoding is deliberately not a serialization format: there is no
+// decoder, and the only contract is that equal problems encode equally and
+// that any input the planners consult is covered. Every integer is written
+// as fixed-width little-endian with explicit length prefixes, so no two
+// distinct problems can collide by field aliasing.
+
+// AppendCanonical appends the canonical encoding of the problem to b and
+// returns the extended slice. Callers hash the result (see
+// plancache.KeyOf) together with the strategy name and planner parameters
+// to form a cache key.
+func (p *Problem) AppendCanonical(b []byte) []byte {
+	var u [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u[:], v)
+		b = append(b, u[:]...)
+	}
+	put(p.FS.Epoch())
+	put(uint64(len(p.ProcNode)))
+	for _, n := range p.ProcNode {
+		put(uint64(n))
+	}
+	put(uint64(len(p.Tasks)))
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		put(uint64(len(t.Inputs)))
+		for _, in := range t.Inputs {
+			put(uint64(in.Chunk))
+			put(math.Float64bits(in.SizeMB))
+			c := p.FS.Chunk(in.Chunk)
+			put(math.Float64bits(c.SizeMB))
+			put(uint64(len(c.Replicas)))
+			for _, r := range c.Replicas {
+				put(uint64(r))
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"opass/internal/dfs"
+)
+
+// TestCanonicalDeterministic: two problems built identically encode
+// byte-for-byte equally — the property that lets a plan cache recognize a
+// repeated request.
+func TestCanonicalDeterministic(t *testing.T) {
+	p1, _ := buildSingle(t, 8, 24, 71, dfs.RandomPlacement{})
+	p2, _ := buildSingle(t, 8, 24, 71, dfs.RandomPlacement{})
+	b1 := p1.AppendCanonical(nil)
+	b2 := p2.AppendCanonical(nil)
+	if len(b1) == 0 {
+		t.Fatal("empty canonical encoding")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identically built problems encode differently")
+	}
+	// Repeated encoding of the same problem is stable too.
+	if !bytes.Equal(b1, p1.AppendCanonical(nil)) {
+		t.Fatal("re-encoding the same problem differs")
+	}
+}
+
+// TestCanonicalAppends: the encoding appends to the given prefix.
+func TestCanonicalAppends(t *testing.T) {
+	p, _ := buildSingle(t, 4, 8, 72, dfs.RandomPlacement{})
+	prefix := []byte("prefix")
+	out := p.AppendCanonical(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("prefix not preserved")
+	}
+	if !bytes.Equal(out[len(prefix):], p.AppendCanonical(nil)) {
+		t.Fatal("suffix differs from fresh encoding")
+	}
+}
+
+// TestCanonicalSensitivity: every ingredient of a plan perturbs the
+// encoding — replica moves, epoch-only mutations elsewhere in the FS,
+// process placement, task shape.
+func TestCanonicalSensitivity(t *testing.T) {
+	build := func() (*Problem, *dfs.FileSystem) {
+		return buildSingle(t, 8, 16, 73, dfs.RandomPlacement{})
+	}
+	base, _ := build()
+	baseEnc := base.AppendCanonical(nil)
+
+	// MoveReplica on a referenced chunk changes the encoding.
+	p, fs := build()
+	c := fs.Chunk(p.Tasks[0].Inputs[0].Chunk)
+	dst := -1
+	for n := 0; n < 8; n++ {
+		if !c.HostedOn(n) {
+			dst = n
+			break
+		}
+	}
+	if err := fs.MoveReplica(c.ID, c.Replicas[0], dst); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("MoveReplica did not change the canonical encoding")
+	}
+
+	// A placement mutation NOT touching any referenced chunk still changes
+	// the encoding, via the epoch: conservative, but exactly the
+	// invalidation contract.
+	p, fs = build()
+	if _, err := fs.Create("/unrelated", 64); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("epoch bump did not change the canonical encoding")
+	}
+
+	// Process placement matters.
+	p, _ = build()
+	p.ProcNode[0], p.ProcNode[1] = p.ProcNode[1], p.ProcNode[0]
+	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("proc→node change did not change the canonical encoding")
+	}
+
+	// Task input size matters.
+	p, _ = build()
+	p.Tasks[3].Inputs[0].SizeMB += 1
+	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("input size change did not change the canonical encoding")
+	}
+
+	// Task count matters.
+	p, _ = build()
+	p.Tasks = p.Tasks[:len(p.Tasks)-1]
+	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("task removal did not change the canonical encoding")
+	}
+}

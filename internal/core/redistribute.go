@@ -35,12 +35,18 @@ type RedistributionPlan struct {
 	// MovedMB is the total migration traffic.
 	MovedMB float64
 	// RemoteMBPerRun is the remote traffic the assignment incurs per
-	// execution before redistribution; after applying the plan it is zero
-	// for single-input tasks and whatever locality conflicts remain for
-	// multi-input ones.
+	// execution before redistribution: every input byte without a replica
+	// on its owner's node.
 	RemoteMBPerRun float64
+	// ResidualRemoteMBPerRun is the remote traffic that remains per
+	// execution after the plan is applied. It is non-zero whenever a chunk
+	// shared by tasks on different nodes can only be re-homed for one of
+	// them, or a donated replica was the copy a co-located task was
+	// reading — so it can be non-zero even for all-single-input workloads.
+	ResidualRemoteMBPerRun float64
 	// BreakEvenRuns is how many executions amortize the migration:
-	// MovedMB / RemoteMBPerRun (0 when nothing is remote).
+	// MovedMB divided by the per-run traffic the plan actually saves,
+	// RemoteMBPerRun - ResidualRemoteMBPerRun (0 when nothing is saved).
 	BreakEvenRuns float64
 }
 
@@ -56,21 +62,26 @@ func PlanRedistribution(p *Problem, a *Assignment) (*RedistributionPlan, error) 
 	plan := &RedistributionPlan{}
 	// Track hypothetical placement changes so multiple tasks sharing a
 	// chunk don't double-move it.
-	moved := map[int]int{} // chunk -> new node
-	hostedMB := make(map[int]float64, p.NumProcs())
-	for n := 0; n < p.FS.NumLiveNodes(); n++ {
+	moved := map[int]Migration{} // chunk -> its planned move
+	live := p.FS.LiveNodes()
+	// Live node IDs are not contiguous after a node removal, so donor
+	// loads must be seeded per live ID — counting 0..NumLiveNodes() would
+	// read high-ID holders as empty and mis-rank donors.
+	hostedMB := make(map[int]float64, len(live))
+	for _, n := range live {
 		hostedMB[n] = p.FS.StoredMB(n)
 	}
 	for t, owner := range a.Owner {
 		node := p.ProcNode[owner]
 		for _, in := range p.Tasks[t].Inputs {
 			c := p.FS.Chunk(in.Chunk)
-			if c.HostedOn(node) || moved[int(in.Chunk)] == node+1 {
+			if c.HostedOn(node) {
 				continue
 			}
-			plan.RemoteMBPerRun += in.SizeMB
-			if moved[int(in.Chunk)] != 0 {
-				// Already being moved for another task; only one home.
+			if _, ok := moved[int(in.Chunk)]; ok {
+				// Already being re-homed for another task; only one home.
+				// If that home is a different node this input stays
+				// remote — the residual pass below accounts for it.
 				continue
 			}
 			// Donate from the most loaded current holder.
@@ -80,20 +91,49 @@ func PlanRedistribution(p *Problem, a *Assignment) (*RedistributionPlan, error) 
 					src = r
 				}
 			}
-			plan.Migrations = append(plan.Migrations, Migration{
-				Chunk: int(in.Chunk), From: src, To: node, SizeMB: c.SizeMB,
-			})
+			m := Migration{Chunk: int(in.Chunk), From: src, To: node, SizeMB: c.SizeMB}
+			plan.Migrations = append(plan.Migrations, m)
 			plan.MovedMB += c.SizeMB
-			moved[int(in.Chunk)] = node + 1
+			moved[int(in.Chunk)] = m
 			hostedMB[src] -= c.SizeMB
 			hostedMB[node] += c.SizeMB
 		}
 	}
 	sort.Slice(plan.Migrations, func(i, j int) bool { return plan.Migrations[i].Chunk < plan.Migrations[j].Chunk })
-	if plan.RemoteMBPerRun > 0 {
-		plan.BreakEvenRuns = plan.MovedMB / plan.RemoteMBPerRun
+	// Accounting pass over the final placement: RemoteMBPerRun is the
+	// pre-plan remote traffic, ResidualRemoteMBPerRun whatever the moves
+	// could not make local (shared chunks homed elsewhere, and replicas
+	// donated away from under a co-located task).
+	for t, owner := range a.Owner {
+		node := p.ProcNode[owner]
+		for _, in := range p.Tasks[t].Inputs {
+			c := p.FS.Chunk(in.Chunk)
+			if !c.HostedOn(node) {
+				plan.RemoteMBPerRun += in.SizeMB
+			}
+			if !hostedAfter(c, moved, node) {
+				plan.ResidualRemoteMBPerRun += in.SizeMB
+			}
+		}
+	}
+	if saved := plan.RemoteMBPerRun - plan.ResidualRemoteMBPerRun; saved > 0 {
+		plan.BreakEvenRuns = plan.MovedMB / saved
 	}
 	return plan, nil
+}
+
+// hostedAfter reports whether chunk c has a replica on node once the
+// planned moves are applied.
+func hostedAfter(c *dfs.Chunk, moved map[int]Migration, node int) bool {
+	if m, ok := moved[int(c.ID)]; ok {
+		if m.To == node {
+			return true
+		}
+		if m.From == node {
+			return false
+		}
+	}
+	return c.HostedOn(node)
 }
 
 // Apply executes the plan against the problem's file system. It returns an

@@ -109,6 +109,157 @@ func TestRedistributionValidatesAssignment(t *testing.T) {
 	}
 }
 
+// TestRedistributionSharedChunkAcrossOwners is the regression test for the
+// residual-remote accounting bug: a chunk shared by two single-input tasks
+// whose owners sit on different nodes can be re-homed for only one of them,
+// so the other's bytes stay remote every run. The old code counted those
+// bytes as eliminated, halving BreakEvenRuns.
+func TestRedistributionSharedChunkAcrossOwners(t *testing.T) {
+	fs := dfs.New(view{4}, dfs.Config{
+		Replication: 2,
+		Placement:   dfs.FixedPlacement{Replicas: [][]int{{2, 3}}},
+	})
+	f, err := fs.CreateChunks("/shared", []float64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := f.Chunks[0]
+	p := &Problem{
+		ProcNode: []int{0, 1}, // proc 0 on node 0, proc 1 on node 1
+		Tasks: []Task{
+			{ID: 0, Inputs: []Input{{Chunk: shared, SizeMB: 64}}},
+			{ID: 1, Inputs: []Input{{Chunk: shared, SizeMB: 64}}},
+		},
+		FS: fs,
+	}
+	a := &Assignment{Owner: []int{0, 1}, Lists: [][]int{{0}, {1}}}
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One move re-homes the chunk for task 0; task 1's copy of the bytes
+	// stays remote.
+	if len(plan.Migrations) != 1 || plan.MovedMB != 64 {
+		t.Fatalf("migrations = %+v (moved %v MB), want one 64 MB move", plan.Migrations, plan.MovedMB)
+	}
+	if plan.RemoteMBPerRun != 128 {
+		t.Fatalf("RemoteMBPerRun = %v, want 128 (both tasks read remotely pre-plan)", plan.RemoteMBPerRun)
+	}
+	if plan.ResidualRemoteMBPerRun != 64 {
+		t.Fatalf("ResidualRemoteMBPerRun = %v, want 64 (task 1 stays remote)", plan.ResidualRemoteMBPerRun)
+	}
+	// Saved traffic is 64 MB/run for a 64 MB move: break-even after 1 run,
+	// not the 0.5 the old accounting promised.
+	if plan.BreakEvenRuns < 0.99 || plan.BreakEvenRuns > 1.01 {
+		t.Fatalf("BreakEvenRuns = %v, want 1", plan.BreakEvenRuns)
+	}
+	// The residual forecast matches reality: apply and recompute locality.
+	if err := plan.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	fillLocality(p, a)
+	wantLocal := (128.0 - 64.0) / 128.0
+	if got := a.LocalityFraction(); got != wantLocal {
+		t.Fatalf("post-apply locality = %v, want %v (doc claim of full locality is false for shared chunks)",
+			got, wantLocal)
+	}
+}
+
+// TestRedistributionDonatedReplicaResidual covers the second residual
+// shape: the donor replica chosen for one task's move is the very copy a
+// co-located task was reading, so that task turns remote after Apply.
+func TestRedistributionDonatedReplicaResidual(t *testing.T) {
+	// Chunk on {2,3}; node 2 is made the most loaded holder so it donates.
+	fs := dfs.New(view{4}, dfs.Config{
+		Replication: 2,
+		Placement:   dfs.FixedPlacement{Replicas: [][]int{{2, 3}, {2, 3}}},
+	})
+	f, err := fs.CreateChunks("/shared", []float64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateChunks("/ballast", []float64{1}); err != nil {
+		t.Fatal(err) // also on {2,3}: keeps loads equal, Replicas[0]=2 donates
+	}
+	shared := f.Chunks[0]
+	p := &Problem{
+		ProcNode: []int{0, 2}, // proc 1 sits on holder node 2
+		Tasks: []Task{
+			{ID: 0, Inputs: []Input{{Chunk: shared, SizeMB: 64}}},
+			{ID: 1, Inputs: []Input{{Chunk: shared, SizeMB: 64}}},
+		},
+		FS: fs,
+	}
+	a := &Assignment{Owner: []int{0, 1}, Lists: [][]int{{0}, {1}}}
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Migrations) != 1 || plan.Migrations[0].From != 2 || plan.Migrations[0].To != 0 {
+		t.Fatalf("migrations = %+v, want one move 2->0", plan.Migrations)
+	}
+	// Task 1 was local on node 2 pre-plan (zero pre-plan remote for it)
+	// but its replica was donated away: it is remote post-plan.
+	if plan.RemoteMBPerRun != 64 {
+		t.Fatalf("RemoteMBPerRun = %v, want 64", plan.RemoteMBPerRun)
+	}
+	if plan.ResidualRemoteMBPerRun != 64 {
+		t.Fatalf("ResidualRemoteMBPerRun = %v, want 64 (donated replica turned task 1 remote)",
+			plan.ResidualRemoteMBPerRun)
+	}
+	if plan.BreakEvenRuns != 0 {
+		t.Fatalf("BreakEvenRuns = %v, want 0: the plan saves nothing per run", plan.BreakEvenRuns)
+	}
+}
+
+// TestRedistributionDonorAfterNodeRemoval is the regression test for the
+// donor-load seeding bug: live node IDs are not contiguous after a node
+// removal, and the old 0..NumLiveNodes() seeding loop read high-ID holders
+// as hosting nothing, so the most loaded holder was never picked as donor.
+func TestRedistributionDonorAfterNodeRemoval(t *testing.T) {
+	fs := dfs.New(view{8}, dfs.Config{
+		Replication: 2,
+		Placement: dfs.FixedPlacement{Replicas: [][]int{
+			{2, 7}, // the chunk to re-home
+			{3, 7}, // ballast making node 7 the most loaded holder
+			{3, 7},
+		}},
+	})
+	if err := fs.MarkDead(1); err != nil { // live IDs: {0,2,...,7}, NumLiveNodes()=7
+		t.Fatal(err)
+	}
+	f, err := fs.CreateChunks("/data", []float64{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateChunks("/ballast", []float64{128, 128}); err != nil {
+		t.Fatal(err)
+	}
+	// Loads: node 2 = 64, node 3 = 256, node 7 = 320 — node 7 must donate.
+	p := &Problem{
+		ProcNode: []int{0},
+		Tasks:    []Task{{ID: 0, Inputs: []Input{{Chunk: f.Chunks[0], SizeMB: 64}}}},
+		FS:       fs,
+	}
+	a := &Assignment{Owner: []int{0}, Lists: [][]int{{0}}}
+	plan, err := PlanRedistribution(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Migrations) != 1 {
+		t.Fatalf("migrations = %+v, want exactly one", plan.Migrations)
+	}
+	if got := plan.Migrations[0].From; got != 7 {
+		t.Fatalf("donor = node %d, want 7 (the most loaded holder; high live IDs must be seeded)", got)
+	}
+	if err := plan.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck after apply: %v", problems)
+	}
+}
+
 func TestReplicaSurgeryPrimitives(t *testing.T) {
 	fs := dfs.New(view{8}, dfs.Config{Seed: 36})
 	f, _ := fs.Create("/a", 64)

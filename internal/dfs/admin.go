@@ -22,6 +22,7 @@ func (fs *FileSystem) AddNode(node int) error {
 		return fmt.Errorf("dfs: add node %d: already live", node)
 	}
 	delete(fs.dead, node)
+	fs.bumpEpoch()
 	return nil
 }
 
@@ -36,6 +37,7 @@ func (fs *FileSystem) MarkDead(node int) error {
 		return fmt.Errorf("dfs: mark dead %d: node hosts %d replicas; use Decommission", node, len(fs.perNode[node]))
 	}
 	fs.dead[node] = true
+	fs.bumpEpoch()
 	return nil
 }
 
@@ -52,6 +54,7 @@ func (fs *FileSystem) Decommission(node int) (moved int, err error) {
 	hosted := append([]ChunkID(nil), fs.perNode[node]...)
 	fs.dead[node] = true
 	delete(fs.perNode, node)
+	fs.bumpEpoch()
 	live := fs.liveNodes()
 	for _, id := range hosted {
 		c := fs.chunks[int(id)]
@@ -93,6 +96,7 @@ func (fs *FileSystem) AddReplica(id ChunkID, node int) error {
 	c.Replicas = append(c.Replicas, node)
 	sort.Ints(c.Replicas)
 	fs.perNode[node] = append(fs.perNode[node], id)
+	fs.bumpEpoch()
 	return nil
 }
 
@@ -120,6 +124,7 @@ func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
 		}
 	}
 	fs.perNode[node] = hosted
+	fs.bumpEpoch()
 	return nil
 }
 
@@ -330,5 +335,6 @@ func (fs *FileSystem) moveOneReplica(src, dst int) bool {
 	}
 	fs.perNode[src] = hosted
 	fs.perNode[dst] = append(fs.perNode[dst], pick)
+	fs.bumpEpoch()
 	return true
 }

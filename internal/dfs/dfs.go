@@ -98,6 +98,7 @@ type FileSystem struct {
 	chunks  []*Chunk
 	perNode map[int][]ChunkID // node -> hosted chunks
 	dead    map[int]bool      // decommissioned nodes
+	epoch   uint64            // bumped on every placement mutation
 }
 
 // New creates an empty FileSystem over the given cluster view.
@@ -122,6 +123,21 @@ func New(view ClusterView, cfg Config) *FileSystem {
 // Config returns the (defaulted) configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
+// Epoch is a monotonic placement-version counter: every operation that
+// changes which replicas live where — or which nodes may host them — bumps
+// it (writes, deletes, replica add/remove/move, node add/remove, the
+// balancer). Namespace-only operations (Rename) do not. Callers that cache
+// anything derived from placement metadata (block locations, locality
+// graphs, plans) must treat a changed epoch as total invalidation; see
+// internal/plancache.
+func (fs *FileSystem) Epoch() uint64 { return fs.epoch }
+
+// bumpEpoch records one placement mutation. Mutating entry points call it
+// exactly once per successful operation (compound operations such as
+// MoveReplica may bump more than once through their primitives — only
+// monotonicity matters, not the step size).
+func (fs *FileSystem) bumpEpoch() { fs.epoch++ }
+
 // Errors returned by namespace operations.
 var (
 	ErrExists   = errors.New("dfs: file already exists")
@@ -141,6 +157,12 @@ func (fs *FileSystem) liveNodes() []int {
 
 // NumLiveNodes reports how many nodes currently host replicas.
 func (fs *FileSystem) NumLiveNodes() int { return len(fs.liveNodes()) }
+
+// LiveNodes lists the nodes that can currently host replicas, in ascending
+// ID order. After node removal the live IDs are not contiguous, so callers
+// iterating per-node state must range over this slice rather than counting
+// 0..NumLiveNodes().
+func (fs *FileSystem) LiveNodes() []int { return fs.liveNodes() }
 
 // Create writes a file of sizeMB, splitting it into chunks of the
 // configured chunk size (the final chunk may be smaller) and placing each
@@ -200,6 +222,7 @@ func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error
 	}
 	fs.files[name] = f
 	fs.order = append(fs.order, name)
+	fs.bumpEpoch()
 	return f, nil
 }
 
@@ -255,6 +278,7 @@ func (fs *FileSystem) Delete(name string) error {
 			break
 		}
 	}
+	fs.bumpEpoch()
 	return nil
 }
 

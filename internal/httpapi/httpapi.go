@@ -31,6 +31,7 @@ package httpapi
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"opass/internal/core"
 	"opass/internal/dfs"
 	"opass/internal/engine"
+	"opass/internal/plancache"
 	"opass/internal/telemetry"
 	"opass/internal/traceio"
 )
@@ -72,6 +74,22 @@ const (
 	// MetricResponseErrors counts response bodies that failed to encode or
 	// write (typically the client hanging up mid-body).
 	MetricResponseErrors = "opass_response_write_errors_total"
+	// MetricPlanCacheHits counts plans served from the fingerprinted plan
+	// cache without running the planner.
+	MetricPlanCacheHits = "opass_plan_cache_hits_total"
+	// MetricPlanCacheMisses counts plans that ran the planner (and, on
+	// success, populated the cache).
+	MetricPlanCacheMisses = "opass_plan_cache_misses_total"
+	// MetricPlanCacheCoalesced counts requests that attached to another
+	// request's in-flight planner run instead of starting their own.
+	MetricPlanCacheCoalesced = "opass_plan_cache_coalesced_total"
+	// MetricPlanCacheEvictions counts cache entries dropped by the
+	// entry/byte bounds or by TTL expiry.
+	MetricPlanCacheEvictions = "opass_plan_cache_evictions_total"
+	// MetricPlanCacheEntries and MetricPlanCacheBytes gauge the cache's
+	// current footprint.
+	MetricPlanCacheEntries = "opass_plan_cache_entries"
+	MetricPlanCacheBytes   = "opass_plan_cache_bytes"
 )
 
 // Limits protecting the decoder and the planners from hostile or
@@ -97,6 +115,21 @@ const (
 	// below opassd's 60s WriteTimeout so the service cancels work while the
 	// client can still be told about it.
 	DefaultRequestTimeout = 55 * time.Second
+)
+
+// Plan-cache defaults; ServerOptions overrides them and opassd exposes them
+// as flags.
+const (
+	// DefaultPlanCacheEntries bounds how many fingerprinted plans are kept.
+	DefaultPlanCacheEntries = 4096
+	// DefaultPlanCacheMB bounds the cache's estimated memory in MiB.
+	DefaultPlanCacheMB = 64
+	// DefaultPlanCacheTTL bounds how long a cached plan may be served. The
+	// fingerprint already invalidates on any placement change visible in
+	// the request (and on dfs.FileSystem.Epoch for library callers); the
+	// TTL is a second line of defense against layouts that drift outside
+	// the fingerprint's view.
+	DefaultPlanCacheTTL = 5 * time.Minute
 )
 
 // statusClientClosedRequest is the nginx-convention status recorded when
@@ -181,6 +214,16 @@ type ServerOptions struct {
 	// RequestTimeout is the per-request processing deadline; 0 means
 	// DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// PlanCacheEntries bounds the fingerprinted plan cache's entry count;
+	// 0 means DefaultPlanCacheEntries, negative disables the cache (every
+	// request runs the planner).
+	PlanCacheEntries int
+	// PlanCacheMB bounds the plan cache's estimated memory in MiB; 0 means
+	// DefaultPlanCacheMB.
+	PlanCacheMB int
+	// PlanCacheTTL bounds a cached plan's age; 0 means
+	// DefaultPlanCacheTTL, negative means entries never expire.
+	PlanCacheTTL time.Duration
 }
 
 // Server is the Opass planning service: an http.Handler plus the drain
@@ -193,6 +236,22 @@ type Server struct {
 	simAdmit   *admitter
 	queueWait  time.Duration
 	reqTimeout time.Duration
+	// planCache memoizes planner results by problem fingerprint; nil when
+	// disabled. /v1/plan and /v1/simulate share it (the simulation itself
+	// is never cached).
+	planCache *plancache.Cache[cachedPlan]
+	// plannerRan, when set, is called once per actual planner invocation —
+	// a test hook proving cache hits and coalesced requests skip the
+	// planner.
+	plannerRan func()
+}
+
+// cachedPlan is the unit the plan cache stores: the response envelope plus
+// the assignment /v1/simulate feeds to the engine. Both are treated as
+// immutable once cached (the engine copies the lists it consumes).
+type cachedPlan struct {
+	resp PlanResponse
+	a    *core.Assignment
 }
 
 // Handler returns the service's HTTP handler with default telemetry (a
@@ -235,6 +294,12 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricRequestsCancelled, "Admitted requests abandoned mid-work, by route and reason.")
 	reg.Help(MetricRequestQueueSeconds, "Time spent waiting for admission, by route.")
 	reg.Help(MetricResponseErrors, "Response bodies that failed to write, by route.")
+	reg.Help(MetricPlanCacheHits, "Plans served from the fingerprinted plan cache.")
+	reg.Help(MetricPlanCacheMisses, "Plans that ran the planner and populated the cache.")
+	reg.Help(MetricPlanCacheCoalesced, "Requests that attached to an in-flight identical planner run.")
+	reg.Help(MetricPlanCacheEvictions, "Plan-cache entries dropped by capacity bounds or TTL.")
+	reg.Help(MetricPlanCacheEntries, "Plans currently cached.")
+	reg.Help(MetricPlanCacheBytes, "Estimated bytes of plans currently cached.")
 
 	maxInflight := opts.MaxInflight
 	if maxInflight <= 0 {
@@ -255,6 +320,35 @@ func NewServer(opts ServerOptions) *Server {
 		simAdmit:   newAdmitter(maxInflight),
 		queueWait:  queueWait,
 		reqTimeout: reqTimeout,
+	}
+	if opts.PlanCacheEntries >= 0 {
+		entries := opts.PlanCacheEntries
+		if entries == 0 {
+			entries = DefaultPlanCacheEntries
+		}
+		mb := opts.PlanCacheMB
+		if mb <= 0 {
+			mb = DefaultPlanCacheMB
+		}
+		ttl := opts.PlanCacheTTL
+		switch {
+		case ttl == 0:
+			ttl = DefaultPlanCacheTTL
+		case ttl < 0:
+			ttl = 0 // plancache: no expiry
+		}
+		s.planCache = plancache.New[cachedPlan](plancache.Options{
+			MaxEntries: entries,
+			MaxBytes:   int64(mb) << 20,
+			TTL:        ttl,
+			OnEvict: func(evicted, entries int, bytes int64) {
+				reg.Counter(MetricPlanCacheEvictions).Add(float64(evicted))
+				reg.Gauge(MetricPlanCacheEntries).Set(float64(entries))
+				reg.Gauge(MetricPlanCacheBytes).Set(float64(bytes))
+			},
+		})
+		reg.Gauge(MetricPlanCacheEntries).Set(0)
+		reg.Gauge(MetricPlanCacheBytes).Set(0)
 	}
 
 	mux := http.NewServeMux()
@@ -580,9 +674,10 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, *apiError) {
 	return &req, prob, nil
 }
 
-// plan runs the requested strategy over the decoded problem under ctx,
-// recording per-strategy planner latency and achieved locality.
-func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, error) {
+// pickAssigner resolves the request's strategy to a planner. The resolved
+// name (not the raw strategy string) keys the plan cache, so "" and
+// "opass" share entries.
+func pickAssigner(req *PlanRequest, prob *core.Problem) (core.Assigner, *apiError) {
 	multi := false
 	for i := range prob.Tasks {
 		if len(prob.Tasks[i].Inputs) > 1 {
@@ -590,22 +685,84 @@ func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem)
 			break
 		}
 	}
-	var assigner core.Assigner
 	switch req.Strategy {
 	case "", "opass":
 		if multi {
-			assigner = core.MultiData{Seed: req.Seed}
-		} else {
-			assigner = core.SingleData{Seed: req.Seed}
+			return core.MultiData{Seed: req.Seed}, nil
 		}
+		return core.SingleData{Seed: req.Seed}, nil
 	case "rank":
-		assigner = core.RankStatic{}
+		return core.RankStatic{}, nil
 	case "random":
-		assigner = core.RandomStatic{Seed: req.Seed}
+		return core.RandomStatic{Seed: req.Seed}, nil
 	case "greedy":
-		assigner = core.GreedyLocality{Seed: req.Seed}
+		return core.GreedyLocality{Seed: req.Seed}, nil
 	default:
-		return PlanResponse{}, nil, badRequest("invalid", "unknown strategy %q", req.Strategy)
+		return nil, badRequest("invalid", "unknown strategy %q", req.Strategy)
+	}
+}
+
+// planFingerprint derives the cache key: the canonical problem encoding
+// (proc→node map, task inputs, per-chunk replica lists, FS epoch) plus the
+// resolved strategy and its seed. Everything a planner consults is covered,
+// so equal keys imply byte-identical plans.
+func planFingerprint(prob *core.Problem, strategy string, seed int64) plancache.Key {
+	var seedBytes [8]byte
+	binary.LittleEndian.PutUint64(seedBytes[:], uint64(seed))
+	return plancache.KeyOf(prob.AppendCanonical(nil), []byte(strategy), seedBytes[:])
+}
+
+// planSizeBytes estimates a cached plan's memory footprint for the cache's
+// byte bound: slice payloads plus headers and the fixed envelope.
+func planSizeBytes(resp *PlanResponse) int64 {
+	n := int64(len(resp.Owner)) * 8
+	for _, l := range resp.Lists {
+		n += 24 + int64(len(l))*8
+	}
+	return n + 256
+}
+
+// plan answers the request from the fingerprinted plan cache when it can,
+// running the planner (at most once across concurrent identical requests)
+// when it cannot. With the cache disabled it degenerates to computePlan.
+func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem) (PlanResponse, *core.Assignment, error) {
+	assigner, apiErr := pickAssigner(req, prob)
+	if apiErr != nil {
+		return PlanResponse{}, nil, apiErr
+	}
+	if s.planCache == nil {
+		return s.computePlan(ctx, assigner, prob)
+	}
+	key := planFingerprint(prob, assigner.Name(), req.Seed)
+	cached, outcome, err := s.planCache.Do(ctx, key, func(cctx context.Context) (cachedPlan, int64, error) {
+		resp, a, err := s.computePlan(cctx, assigner, prob)
+		if err != nil {
+			return cachedPlan{}, 0, err
+		}
+		return cachedPlan{resp: resp, a: a}, planSizeBytes(&resp), nil
+	})
+	switch outcome {
+	case plancache.Hit:
+		s.reg.Counter(MetricPlanCacheHits).Inc()
+	case plancache.Coalesced:
+		s.reg.Counter(MetricPlanCacheCoalesced).Inc()
+	default:
+		s.reg.Counter(MetricPlanCacheMisses).Inc()
+	}
+	stats := s.planCache.Stats()
+	s.reg.Gauge(MetricPlanCacheEntries).Set(float64(stats.Entries))
+	s.reg.Gauge(MetricPlanCacheBytes).Set(float64(stats.Bytes))
+	if err != nil {
+		return PlanResponse{}, nil, err
+	}
+	return cached.resp, cached.a, nil
+}
+
+// computePlan runs the resolved strategy over the decoded problem under
+// ctx, recording per-strategy planner latency and achieved locality.
+func (s *Server) computePlan(ctx context.Context, assigner core.Assigner, prob *core.Problem) (PlanResponse, *core.Assignment, error) {
+	if s.plannerRan != nil {
+		s.plannerRan()
 	}
 	start := time.Now()
 	a, err := core.AssignContext(ctx, assigner, prob)

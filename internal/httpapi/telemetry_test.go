@@ -59,12 +59,18 @@ func TestMetricsEndpoint(t *testing.T) {
 		`opass_http_requests_total{method="POST",route="/v1/simulate",status="200"} 1`,
 		`opass_http_requests_total{method="POST",route="/v1/plan",status="400"} 1`,
 		`opass_http_request_duration_seconds_count{route="/v1/plan"} 3`,
-		// Per-strategy planner-latency histograms recorded inside plan().
-		`opass_planner_latency_seconds_count{strategy="opass-flow"} 2`,
+		// Per-strategy planner-latency histograms recorded inside
+		// computePlan(). The simulate request reuses the cached opass plan
+		// from the identical /v1/plan request, so opass-flow ran once.
+		`opass_planner_latency_seconds_count{strategy="opass-flow"} 1`,
 		`opass_planner_latency_seconds_count{strategy="opass-greedy"} 1`,
-		`opass_planner_latency_seconds_bucket{strategy="opass-flow",le="+Inf"} 2`,
+		`opass_planner_latency_seconds_bucket{strategy="opass-flow",le="+Inf"} 1`,
 		// Locality fractions: the 4-node matching layout plans fully local.
-		`opass_plan_locality_fraction_count{strategy="opass-flow"} 2`,
+		`opass_plan_locality_fraction_count{strategy="opass-flow"} 1`,
+		// Plan-cache accounting: opass + greedy missed, simulate hit.
+		"opass_plan_cache_misses_total 2",
+		"opass_plan_cache_hits_total 1",
+		"opass_plan_cache_entries 2",
 		// Engine gauges updated after /v1/simulate.
 		"opass_sim_runs_total 1",
 		"opass_sim_last_tasks_run 8",
