@@ -24,6 +24,8 @@
 //	replication         replication factor vs achievable locality
 //	sensitivity         disk seek-penalty calibration sweep
 //	faults              DataNode crashes mid-job with read failover
+//	chaos               seeded fault sweep: failover vs replan+repair, with
+//	                    invariant checks (needs >= 8 nodes, so -scale <= 8)
 //	racks               oversubscribed multi-rack fabric study
 //	shared              co-running jobs interference study (§V-C1)
 //	datasize            dataset-size sweep at fixed cluster size
@@ -75,7 +77,7 @@ func main() {
 			"fig1", "fig3", "fig7", "fig7c", "fig9", "fig11", "fig12",
 			"overhead", "scale", "ablation-placement",
 			"dynamic-masters", "hetero", "greedy",
-			"redistribution", "replication", "sensitivity", "faults", "racks", "shared", "datasize",
+			"redistribution", "replication", "sensitivity", "faults", "chaos", "racks", "shared", "datasize",
 		}
 	}
 	for i, name := range names {
@@ -189,6 +191,12 @@ func run(name string, cfg experiments.Config) error {
 		fmt.Print(r.Render())
 	case "faults":
 		r, err := experiments.FaultTolerance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "chaos":
+		r, err := experiments.Chaos(cfg)
 		if err != nil {
 			return err
 		}

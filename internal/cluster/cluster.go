@@ -220,6 +220,22 @@ func (t *Topology) ReadPath(src, dst int) []simnet.ResourceID {
 	return t.RemoteReadPath(src, dst)
 }
 
+// DegradeNode scales a node's device throughput to the given fractions of
+// its healthy capacity: the disk to diskFactor × DiskMBps and both NIC
+// directions to nicFactor × NICMBps. Factors must be positive; 1 restores
+// full health. The engine's degradation fault injection drives this — rates
+// of in-flight transfers adjust from the current virtual instant, modeling
+// a sick disk or flapping NIC rather than a crash.
+func (t *Topology) DegradeNode(node int, diskFactor, nicFactor float64) {
+	t.check(node)
+	if diskFactor <= 0 || nicFactor <= 0 {
+		panic(fmt.Sprintf("cluster: degrade node %d: factors %v/%v must be positive", node, diskFactor, nicFactor))
+	}
+	t.net.SetScale(t.disk[node], diskFactor)
+	t.net.SetScale(t.tx[node], nicFactor)
+	t.net.SetScale(t.rx[node], nicFactor)
+}
+
 // DiskResource exposes the disk resource ID of a node (used by tests).
 func (t *Topology) DiskResource(node int) simnet.ResourceID {
 	t.check(node)

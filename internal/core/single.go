@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"opass/internal/bipartite"
 )
@@ -69,13 +70,19 @@ func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 	if err != nil {
 		return nil, err
 	}
-	if s.Weights == nil && equalSizes(sizes) {
+	if equalSizes(sizes) {
 		// With equal task sizes the paper's constraint is really "equal
-		// task counts"; expressing the quota as counts*size keeps the flow
-		// formulation correct even when there are fewer tasks than
-		// processes (TotalSize/m would then be smaller than one task and
-		// nothing could match).
+		// (or weight-proportional) task counts"; expressing the quota as
+		// counts*size keeps the flow formulation correct even when there
+		// are fewer tasks than processes (TotalSize/m would then be
+		// smaller than one task and nothing could match). The weighted
+		// path needs this just as much: an MB quota of 8.5 tasks strands
+		// half a task of slack on every process, and the stranded tasks
+		// would then be re-homed with no regard for locality.
 		counts := taskQuotas(n, m)
+		if s.Weights != nil {
+			counts = weightedTaskQuotas(n, m, s.Weights)
+		}
 		for i := range quotasMB {
 			quotasMB[i] = int64(counts[i]) * sizes[0]
 		}
@@ -129,6 +136,36 @@ func equalSizes(sizes []int64) bool {
 		}
 	}
 	return true
+}
+
+// weightedTaskQuotas splits n tasks over m processes proportionally to
+// weights, rounding by largest remainder so the counts sum to n exactly.
+// The deficit after flooring equals the sum of the fractional parts, so it
+// is always covered by processes with a positive remainder — zero-weight
+// processes never receive a task. Weights are validated by shareQuotas
+// before this runs.
+func weightedTaskQuotas(n, m int, weights []float64) []int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	counts := make([]int, m)
+	order := make([]int, m)
+	rem := make([]float64, m)
+	given := 0
+	for i, w := range weights {
+		exact := float64(n) * w / sum
+		counts[i] = int(exact)
+		rem[i] = exact - float64(counts[i])
+		order[i] = i
+		given += counts[i]
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	for k := 0; given < n; k++ {
+		counts[order[k%m]]++
+		given++
+	}
+	return counts
 }
 
 // shareQuotas splits total MB over m processes — equally when weights is

@@ -82,6 +82,79 @@ func (fs *FileSystem) Decommission(node int) (moved int, err error) {
 	return moved, nil
 }
 
+// Crash records an unplanned DataNode loss, as the namenode does when a
+// datanode misses its heartbeats: the node is marked dead and every replica
+// it hosted is dropped from the chunk metadata. Unlike Decommission nothing
+// is copied here — repair is a separate, slower pass (ReReplicate), and the
+// window between the two is exactly what the engine's fault injection
+// studies. It returns the chunks left under-replicated and the chunks that
+// lost their last replica (unreadable until the node returns). Crashing an
+// already-dead node is a no-op.
+func (fs *FileSystem) Crash(node int) (underReplicated, lost []ChunkID, err error) {
+	if node < 0 || node >= fs.view.NumNodes() {
+		return nil, nil, fmt.Errorf("dfs: crash %d: outside cluster view of %d nodes", node, fs.view.NumNodes())
+	}
+	if fs.dead[node] {
+		return nil, nil, nil
+	}
+	hosted := append([]ChunkID(nil), fs.perNode[node]...)
+	sort.Slice(hosted, func(i, j int) bool { return hosted[i] < hosted[j] })
+	fs.dead[node] = true
+	delete(fs.perNode, node)
+	for _, id := range hosted {
+		c := fs.chunks[int(id)]
+		out := c.Replicas[:0]
+		for _, r := range c.Replicas {
+			if r != node {
+				out = append(out, r)
+			}
+		}
+		c.Replicas = out
+		switch {
+		case len(c.Replicas) == 0:
+			lost = append(lost, id)
+		case len(c.Replicas) < c.target:
+			underReplicated = append(underReplicated, id)
+		}
+	}
+	fs.bumpEpoch()
+	return underReplicated, lost, nil
+}
+
+// ReReplicate works through the namenode's needed-replications queue: every
+// chunk below its replication target gains copies from surviving holders
+// onto live nodes without one, until the target (or the live-node count) is
+// reached. Chunks with no surviving replica cannot be repaired and are
+// skipped. It returns the number of chunks repaired and bumps the
+// placement epoch when any replica was created, invalidating cached plans.
+func (fs *FileSystem) ReReplicate() (repaired int) {
+	live := fs.liveNodes()
+	for _, c := range fs.chunks {
+		if c.deleted || len(c.Replicas) == 0 || len(c.Replicas) >= c.target {
+			continue
+		}
+		added := false
+		for len(c.Replicas) < c.target {
+			candidates := filter(live, func(n int) bool { return !c.HostedOn(n) })
+			if len(candidates) == 0 {
+				break // cluster smaller than the factor; accept reduced redundancy
+			}
+			dst := candidates[fs.rng.Intn(len(candidates))]
+			c.Replicas = append(c.Replicas, dst)
+			sort.Ints(c.Replicas)
+			fs.perNode[dst] = append(fs.perNode[dst], c.ID)
+			added = true
+		}
+		if added {
+			repaired++
+		}
+	}
+	if repaired > 0 {
+		fs.bumpEpoch()
+	}
+	return repaired
+}
+
 // AddReplica places an extra copy of a chunk on node (increasing its
 // replication), as the namenode does when re-replicating or when a
 // redistribution tool requests a new copy.
@@ -95,13 +168,18 @@ func (fs *FileSystem) AddReplica(id ChunkID, node int) error {
 	}
 	c.Replicas = append(c.Replicas, node)
 	sort.Ints(c.Replicas)
+	if len(c.Replicas) > c.target {
+		c.target = len(c.Replicas)
+	}
 	fs.perNode[node] = append(fs.perNode[node], id)
 	fs.bumpEpoch()
 	return nil
 }
 
-// RemoveReplica drops the copy of a chunk on node. It refuses to remove the
-// last replica.
+// RemoveReplica drops the copy of a chunk on node and lowers the chunk's
+// replication target to match (HDFS setrep semantics: an explicit removal
+// means the lower redundancy is intended, so repair must not undo it). It
+// refuses to remove the last replica.
 func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
 	c := fs.Chunk(id)
 	if !c.HostedOn(node) {
@@ -117,6 +195,9 @@ func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
 		}
 	}
 	c.Replicas = out
+	if c.target > len(c.Replicas) {
+		c.target = len(c.Replicas)
+	}
 	hosted := fs.perNode[node][:0]
 	for _, h := range fs.perNode[node] {
 		if h != id {
@@ -128,8 +209,11 @@ func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
 	return nil
 }
 
-// MoveReplica relocates one copy of a chunk from src to dst.
+// MoveReplica relocates one copy of a chunk from src to dst. The chunk's
+// replication target is preserved — a move is not a setrep, even though it
+// is built from an add and a remove.
 func (fs *FileSystem) MoveReplica(id ChunkID, src, dst int) error {
+	tgt := fs.Chunk(id).target
 	if err := fs.AddReplica(id, dst); err != nil {
 		return err
 	}
@@ -138,8 +222,10 @@ func (fs *FileSystem) MoveReplica(id ChunkID, src, dst int) error {
 		if rbErr := fs.RemoveReplica(id, dst); rbErr != nil {
 			return fmt.Errorf("dfs: move replica rollback failed: %v (after %w)", rbErr, err)
 		}
+		fs.Chunk(id).target = tgt
 		return err
 	}
+	fs.Chunk(id).target = tgt
 	return nil
 }
 

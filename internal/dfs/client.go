@@ -3,6 +3,7 @@ package dfs
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // This file implements the libhdfs-style client interface of §II-A: the
@@ -120,6 +121,11 @@ type FileReader struct {
 	// reads of one chunk stay on one serving node, as an HDFS block read
 	// does.
 	replicaOf map[ChunkID]int
+	// offsets[i] is the byte offset of chunk i within the file, with one
+	// extra trailing element holding the file size. Built lazily on the
+	// first locate — chunk sizes are immutable once the file is sealed — so
+	// positional lookups are a binary search instead of a linear rescan.
+	offsets []int64
 }
 
 // Size reports the file length in bytes.
@@ -190,21 +196,29 @@ func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
-// locate maps a byte offset to (chunk, offset-within-chunk).
+// locate maps a byte offset to (chunk, offset-within-chunk). The first call
+// builds the cumulative-offset table; every call after that binary-searches
+// it, so a whole-file sequential read costs O(chunks·log chunks) in lookups
+// rather than the O(chunks²) of rescanning the chunk list per ReadAt.
 func (r *FileReader) locate(pos int64) (*Chunk, int64) {
 	if pos < 0 {
 		return nil, 0
 	}
-	var base int64
-	for _, id := range r.file.Chunks {
-		c := r.client.fs.Chunk(id)
-		size := bytesOf(c.SizeMB)
-		if pos < base+size {
-			return c, pos - base
+	if r.offsets == nil {
+		r.offsets = make([]int64, len(r.file.Chunks)+1)
+		var base int64
+		for i, id := range r.file.Chunks {
+			r.offsets[i] = base
+			base += bytesOf(r.client.fs.Chunk(id).SizeMB)
 		}
-		base += size
+		r.offsets[len(r.file.Chunks)] = base
 	}
-	return nil, 0
+	if pos >= r.offsets[len(r.offsets)-1] {
+		return nil, 0
+	}
+	// First chunk whose end lies beyond pos.
+	i := sort.Search(len(r.file.Chunks), func(i int) bool { return pos < r.offsets[i+1] })
+	return r.client.fs.Chunk(r.file.Chunks[i]), pos - r.offsets[i]
 }
 
 // account records which replica served n bytes of chunk c, pinning the
@@ -254,10 +268,19 @@ func (r *FileReader) Close() error {
 // The data is buffered into chunks of the configured chunk size; replicas
 // are placed when each chunk fills (or on Close), exactly like the HDFS
 // write pipeline allocating blocks as the stream grows.
+//
+// The path is reserved at open, mirroring the namenode's lease: a second
+// writer racing for the same path fails here with ErrExists instead of
+// buffering all its data only to collide at Close. The reservation is
+// released when the writer closes (successfully or not) or aborts.
 func (c *Client) Create(path string) (*FileWriter, error) {
 	if _, ok := c.fs.files[path]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, path)
 	}
+	if c.fs.reserved[path] {
+		return nil, fmt.Errorf("%w: %q (already open for writing)", ErrExists, path)
+	}
+	c.fs.reserved[path] = true
 	return &FileWriter{client: c, path: path}, nil
 }
 
@@ -287,12 +310,15 @@ func (w *FileWriter) Write(p []byte) (int, error) {
 }
 
 // Close seals the file: the final partial chunk is flushed and the file is
-// registered with the namenode with replica placement per chunk.
+// registered with the namenode with replica placement per chunk. The path
+// reservation taken at Create is released whether or not the close
+// succeeds, so a failed close does not wedge the path forever.
 func (w *FileWriter) Close() error {
 	if w.closed {
 		return fmt.Errorf("dfs: double close of writer for %q", w.path)
 	}
 	w.closed = true
+	delete(w.client.fs.reserved, w.path)
 	if len(w.buf) > 0 {
 		w.chunks = append(w.chunks, append([]byte(nil), w.buf...))
 		w.buf = nil
@@ -312,4 +338,16 @@ func (w *FileWriter) Close() error {
 		w.client.fs.chunks[int(id)].data = w.chunks[i]
 	}
 	return nil
+}
+
+// Abort discards the buffered data and releases the path reservation
+// without registering the file — the client dying before completing the
+// write pipeline. Aborting an already-closed writer is a no-op.
+func (w *FileWriter) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.buf, w.chunks = nil, nil
+	delete(w.client.fs.reserved, w.path)
 }

@@ -41,7 +41,17 @@ type Chunk struct {
 	data []byte
 	// deleted marks a tombstoned chunk (its file was removed).
 	deleted bool
+	// target is this chunk's replication target — per-chunk metadata, as
+	// HDFS keeps per-file replication factors, so layouts built with
+	// AddReplica beyond the Config factor still repair to their real
+	// redundancy after a crash. Set at creation, raised by AddReplica,
+	// lowered by an explicit RemoveReplica (the setrep analogy).
+	target int
 }
+
+// ReplicationTarget returns the chunk's replication target: how many
+// replicas Crash considers healthy and ReReplicate restores.
+func (c *Chunk) ReplicationTarget() int { return c.target }
 
 // HostedOn reports whether the chunk has a replica on node.
 func (c *Chunk) HostedOn(node int) bool {
@@ -99,6 +109,10 @@ type FileSystem struct {
 	perNode map[int][]ChunkID // node -> hosted chunks
 	dead    map[int]bool      // decommissioned nodes
 	epoch   uint64            // bumped on every placement mutation
+	// reserved holds paths leased to open FileWriters (the namenode's write
+	// lease): the namespace entry does not exist yet, but no other writer —
+	// and no namespace operation — may claim the name.
+	reserved map[string]bool
 }
 
 // New creates an empty FileSystem over the given cluster view.
@@ -111,12 +125,13 @@ func New(view ClusterView, cfg Config) *FileSystem {
 		panic(fmt.Sprintf("dfs: chunk size %v must be positive", cfg.ChunkSizeMB))
 	}
 	return &FileSystem{
-		cfg:     cfg,
-		view:    view,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		files:   make(map[string]*File),
-		perNode: make(map[int][]ChunkID),
-		dead:    make(map[int]bool),
+		cfg:      cfg,
+		view:     view,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		files:    make(map[string]*File),
+		perNode:  make(map[int][]ChunkID),
+		dead:     make(map[int]bool),
+		reserved: make(map[string]bool),
 	}
 }
 
@@ -189,6 +204,9 @@ func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error
 	if _, ok := fs.files[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	if fs.reserved[name] {
+		return nil, fmt.Errorf("%w: %q (open for writing)", ErrExists, name)
+	}
 	if len(sizesMB) == 0 {
 		return nil, fmt.Errorf("dfs: create %q: no chunks", name)
 	}
@@ -213,6 +231,7 @@ func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error
 			return nil, fmt.Errorf("dfs: create %q chunk %d: %w", name, i, err)
 		}
 		sort.Ints(c.Replicas)
+		c.target = len(c.Replicas)
 		fs.chunks = append(fs.chunks, c)
 		f.Chunks = append(f.Chunks, c.ID)
 		f.SizeMB += s
@@ -294,6 +313,9 @@ func (fs *FileSystem) Rename(oldName, newName string) error {
 	}
 	if _, ok := fs.files[newName]; ok {
 		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	if fs.reserved[newName] {
+		return fmt.Errorf("%w: %q (open for writing)", ErrExists, newName)
 	}
 	delete(fs.files, oldName)
 	f.Name = newName

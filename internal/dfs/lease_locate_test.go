@@ -1,0 +1,171 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// Regression: two writers racing for one path. Before the write lease the
+// second Create succeeded and the loser only discovered ErrExists at Close,
+// after buffering its entire payload.
+func TestCreateReservesPathAgainstSecondWriter(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 1, ChunkSizeMB: 1.0 / 1024})
+	w1, err := fs.Client(-1).Create("/contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Client(-1).Create("/contended"); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create while the path is leased: err = %v, want ErrExists", err)
+	}
+	if _, err := w1.Write([]byte("winner")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lease is gone but the file now exists.
+	if _, err := fs.Client(-1).Create("/contended"); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over an existing file: err = %v, want ErrExists", err)
+	}
+}
+
+func TestFailedCloseReleasesReservation(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 1})
+	w, err := fs.Client(-1).Create("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing with no data fails — and must still release the lease.
+	if err := w.Close(); err == nil {
+		t.Fatal("closing an empty writer should fail")
+	}
+	w2, err := fs.Client(-1).Create("/empty")
+	if err != nil {
+		t.Fatalf("path still leased after failed close: %v", err)
+	}
+	if _, err := w2.Write([]byte("retry")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/empty"); err != nil {
+		t.Fatalf("retried write did not register the file: %v", err)
+	}
+}
+
+func TestAbortReleasesReservation(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 1})
+	w, err := fs.Client(-1).Create("/aborted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("discard me")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	if _, err := fs.Stat("/aborted"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted write registered the file: err = %v", err)
+	}
+	if _, err := fs.Client(-1).Create("/aborted"); err != nil {
+		t.Fatalf("path still leased after abort: %v", err)
+	}
+}
+
+func TestNamespaceOpsRespectWriteLease(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 1})
+	if _, err := fs.Create("/other", 1); err != nil {
+		t.Fatal(err)
+	}
+	w, err := fs.Client(-1).Create("/leased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if _, err := fs.Create("/leased", 1); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over a leased path: err = %v, want ErrExists", err)
+	}
+	if err := fs.Rename("/other", "/leased"); !errors.Is(err, ErrExists) {
+		t.Fatalf("Rename onto a leased path: err = %v, want ErrExists", err)
+	}
+}
+
+// Correctness of the binary-searched locate over uneven chunk boundaries:
+// positional reads must agree with a whole-file sequential read.
+func TestLocateUnevenChunks(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 3})
+	sizes := []float64{0.5, 2.0 / 1024, 1.25, 3.0 / 1024, 0.75}
+	f, err := fs.CreateChunks("/uneven", sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Chunks) != len(sizes) {
+		t.Fatalf("chunks = %d, want %d", len(f.Chunks), len(sizes))
+	}
+	r, err := fs.Client(0).Open("/uneven")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	whole, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(whole)) != r.Size() {
+		t.Fatalf("sequential read returned %d bytes, want %d", len(whole), r.Size())
+	}
+	// Probe every chunk boundary (straddling it) plus interior offsets.
+	var offs []int64
+	var base int64
+	for _, s := range sizes {
+		sz := bytesOf(s)
+		offs = append(offs, base, base+1, base+sz-1, base+sz/2)
+		base += sz
+	}
+	offs = append(offs, 0, base-1)
+	buf := make([]byte, 100)
+	for _, off := range offs {
+		n, err := r.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			t.Fatalf("ReadAt(%d): %v", off, err)
+		}
+		if !bytes.Equal(buf[:n], whole[off:off+int64(n)]) {
+			t.Fatalf("ReadAt(%d) disagrees with sequential read", off)
+		}
+	}
+	if _, err := r.ReadAt(buf, r.Size()); err != io.EOF {
+		t.Fatalf("ReadAt past EOF: err = %v, want io.EOF", err)
+	}
+}
+
+// BenchmarkFileReaderLocate isolates the positional-lookup cost: one-byte
+// reads at every chunk boundary of a many-chunk file. With the old linear
+// locate each pass was O(chunks²) in chunk-list scans.
+func BenchmarkFileReaderLocate(b *testing.B) {
+	const chunks = 8192
+	fs := New(testView(8), Config{Seed: 4})
+	sizes := make([]float64, chunks)
+	for i := range sizes {
+		sizes[i] = 1.0 / 16 // 64 KiB
+	}
+	if _, err := fs.CreateChunks("/bench", sizes); err != nil {
+		b.Fatal(err)
+	}
+	r, err := fs.Client(0).Open("/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	stride := bytesOf(sizes[0])
+	buf := make([]byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%chunks) * stride
+		if _, err := r.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"testing"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+// postFailureLocalFraction is the fraction of megabytes read locally by
+// reads that started at or after the given time.
+func postFailureLocalFraction(res *Result, after float64) float64 {
+	var local, total float64
+	for _, rec := range res.Records {
+		if rec.Start < after {
+			continue
+		}
+		total += rec.SizeMB
+		if rec.Local {
+			local += rec.SizeMB
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return local / total
+}
+
+func opassAssignment(t *testing.T, r *rig, seed int64) *core.Assignment {
+	t.Helper()
+	a, err := core.SingleData{Seed: seed}.Assign(r.prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// The headline chaos invariant: after a permanent crash, replanning the
+// backlog (with repair) strictly beats per-read failover on both the
+// post-failure local fraction and the makespan, while running exactly the
+// same tasks on the same seed.
+func TestChaosReplanBeatsFailoverAfterCrash(t *testing.T) {
+	const (
+		nodes  = 16
+		chunks = 128
+		seed   = 7
+		failAt = 1.0
+	)
+	run := func(replan bool) *Result {
+		r := buildRig(t, nodes, chunks, seed, dfs.RandomPlacement{})
+		a := opassAssignment(t, r, seed)
+		opts := r.opts("opass")
+		opts.Failures = []NodeFailure{{Node: 1, At: failAt}}
+		if replan {
+			opts.Replan = true
+			opts.Repair = true
+			opts.RepairDelay = 2.0
+			opts.ReplanSeed = seed
+		}
+		res, err := RunAssignment(opts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.topo.Net().Active() != 0 {
+			t.Fatal("network not idle after run")
+		}
+		if res.TasksRun != chunks {
+			t.Fatalf("tasks run = %d, want %d", res.TasksRun, chunks)
+		}
+		for _, rec := range res.Records {
+			if rec.SrcNode == 1 && rec.End > failAt+1e-9 {
+				t.Fatalf("read served by the crashed node after the failure: %+v", rec)
+			}
+		}
+		return res
+	}
+	failover := run(false)
+	replanned := run(true)
+	if replanned.Replans == 0 {
+		t.Fatal("replanning run never replanned")
+	}
+	if replanned.RepairedChunks == 0 {
+		t.Fatal("repair never restored a chunk")
+	}
+	fo, rp := postFailureLocalFraction(failover, failAt), postFailureLocalFraction(replanned, failAt)
+	if rp <= fo {
+		t.Fatalf("post-failure local fraction: replan %v <= failover %v", rp, fo)
+	}
+	if replanned.Makespan >= failover.Makespan {
+		t.Fatalf("makespan: replan %v >= failover %v", replanned.Makespan, failover.Makespan)
+	}
+}
+
+// A transient outage: the node's reads fail over while it is down, and no
+// read started during the outage is served by it; after recovery it may
+// serve again and the job completes normally.
+func TestChaosTransientFailureRecovery(t *testing.T) {
+	const (
+		nodes             = 16
+		chunks            = 128
+		seed              = 11
+		downAt, recoverAt = 0.5, 3.0
+	)
+	r := buildRig(t, nodes, chunks, seed, dfs.RandomPlacement{})
+	a := opassAssignment(t, r, seed)
+	opts := r.opts("opass")
+	opts.Failures = []NodeFailure{{Node: 2, At: downAt, RecoverAt: recoverAt}}
+	opts.Replan = true
+	opts.ReplanSeed = seed
+	res, err := RunAssignment(opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksRun != chunks {
+		t.Fatalf("tasks run = %d, want %d", res.TasksRun, chunks)
+	}
+	if len(res.RecoveredNodes) != 1 || res.RecoveredNodes[0] != 2 {
+		t.Fatalf("recovered nodes = %v, want [2]", res.RecoveredNodes)
+	}
+	served := false
+	for _, rec := range res.Records {
+		if rec.SrcNode != 2 {
+			continue
+		}
+		if rec.End > downAt+1e-9 && rec.Start < recoverAt {
+			t.Fatalf("read served by node 2 during its outage: %+v", rec)
+		}
+		if rec.Start >= recoverAt {
+			served = true
+		}
+	}
+	if !served {
+		t.Fatal("recovered node never served a read again")
+	}
+	// The outage never touched the namenode: replication is intact.
+	if problems := r.fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck after transient outage: %v", problems)
+	}
+	if r.topo.Net().Active() != 0 {
+		t.Fatal("network not idle after run")
+	}
+}
+
+// A degraded (slow but alive) node: without replanning its process drags
+// the whole job; replanning shifts most of its share to healthy nodes.
+// After the run the shared topology must be back at nominal speed.
+func TestChaosDegradedNodeReplanAvoidsStraggler(t *testing.T) {
+	const (
+		nodes  = 16
+		chunks = 128
+		seed   = 13
+	)
+	run := func(replan bool) *Result {
+		r := buildRig(t, nodes, chunks, seed, dfs.RandomPlacement{})
+		a := opassAssignment(t, r, seed)
+		opts := r.opts("opass")
+		opts.Degradations = []NodeDegradation{{Node: 1, At: 0.5, DiskFactor: 0.1, NICFactor: 1.0}}
+		if replan {
+			opts.Replan = true
+			opts.ReplanSeed = seed
+		}
+		res, err := RunAssignment(opts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The degradation (Until == 0: rest of the run) is lifted on exit.
+		if got := r.topo.Net().Scale(r.topo.DiskResource(1)); got != 1 {
+			t.Fatalf("disk scale after run = %v, want 1", got)
+		}
+		if res.TasksRun != chunks {
+			t.Fatalf("tasks run = %d, want %d", res.TasksRun, chunks)
+		}
+		return res
+	}
+	static := run(false)
+	replanned := run(true)
+	if replanned.Replans == 0 {
+		t.Fatal("degradation did not trigger a replan")
+	}
+	if replanned.Makespan >= static.Makespan {
+		t.Fatalf("makespan: replan %v >= static %v", replanned.Makespan, static.Makespan)
+	}
+}
+
+// A bounded degradation window slows transfers only inside [At, Until].
+func TestChaosDegradationWindowEnds(t *testing.T) {
+	r := buildRig(t, 8, 64, 17, dfs.RandomPlacement{})
+	a := opassAssignment(t, r, 17)
+	base, err := RunAssignment(r.opts("opass"), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := buildRig(t, 8, 64, 17, dfs.RandomPlacement{})
+	a2 := opassAssignment(t, r2, 17)
+	opts := r2.opts("opass")
+	opts.Degradations = []NodeDegradation{{Node: 0, At: 0.2, Until: 1.2, DiskFactor: 0.25, NICFactor: 0.25}}
+	windowed, err := RunAssignment(opts, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowed.Makespan <= base.Makespan {
+		t.Fatalf("a degradation window should cost time: %v <= %v", windowed.Makespan, base.Makespan)
+	}
+	// The restore timer fired mid-run (the job outlives the window), so the
+	// job must not pay the slow rate for its whole duration: a permanently
+	// degraded run is strictly worse.
+	opts3 := func() Options {
+		r3 := buildRig(t, 8, 64, 17, dfs.RandomPlacement{})
+		o := r3.opts("opass")
+		o.Degradations = []NodeDegradation{{Node: 0, At: 0.2, DiskFactor: 0.25, NICFactor: 0.25}}
+		return o
+	}()
+	a3 := opassAssignment(t, buildRig(t, 8, 64, 17, dfs.RandomPlacement{}), 17)
+	forever, err := RunAssignment(opts3, a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forever.Makespan <= windowed.Makespan {
+		t.Fatalf("unbounded degradation should cost more than a window: %v <= %v", forever.Makespan, windowed.Makespan)
+	}
+}
+
+// Fault-model validation errors surface before the run starts.
+func TestChaosFaultValidation(t *testing.T) {
+	r := buildRig(t, 4, 8, 19, dfs.RandomPlacement{})
+	a := opassAssignment(t, r, 19)
+	bad := []Options{}
+	o := r.opts("x")
+	o.Failures = []NodeFailure{{Node: 0, At: 1, RecoverAt: 0.5}}
+	bad = append(bad, o)
+	o = r.opts("x")
+	o.Degradations = []NodeDegradation{{Node: 0, At: 1, DiskFactor: 0, NICFactor: 1}}
+	bad = append(bad, o)
+	o = r.opts("x")
+	o.Degradations = []NodeDegradation{{Node: 0, At: 1, Until: 0.5, DiskFactor: 0.5, NICFactor: 0.5}}
+	bad = append(bad, o)
+	o = r.opts("x")
+	o.Degradations = []NodeDegradation{{Node: 9, At: 1, DiskFactor: 0.5, NICFactor: 0.5}}
+	bad = append(bad, o)
+	o = r.opts("x")
+	o.RepairDelay = -1
+	bad = append(bad, o)
+	for i, opts := range bad {
+		if _, err := RunAssignment(opts, a); err == nil {
+			t.Fatalf("case %d: invalid fault spec accepted", i)
+		}
+		if r.topo.Net().Active() != 0 {
+			t.Fatalf("case %d: rejected run left flows active", i)
+		}
+	}
+}

@@ -118,6 +118,31 @@ type Options struct {
 	// and subsequent replica picks avoid it. Compute on the node continues
 	// — the crash models the DataNode process, not the whole machine.
 	Failures []NodeFailure
+	// Degradations schedules slow-node windows: the node stays alive but
+	// its disk/NIC deliver a fraction of nominal throughput — the paper's
+	// §III-B contention story made adversarial. Any degradation still in
+	// effect when the run ends is lifted on exit, so the shared topology is
+	// returned healthy.
+	Degradations []NodeDegradation
+	// Repair re-replicates under-replicated chunks from surviving holders
+	// RepairDelay seconds after each permanent crash, bumping the file
+	// system's placement epoch (invalidating cached plans). Repair (and
+	// Replan) record permanent crashes in the namenode via FS.Crash, so the
+	// file system is mutated by the run.
+	Repair      bool
+	RepairDelay float64
+	// Replan re-runs the Opass matcher over the not-yet-started backlog
+	// whenever the placement truth changes — permanent crash, repair
+	// completion, recovery, degradation onset or end — and splices the new
+	// lists into the running source, restoring locality instead of letting
+	// it decay into random remote reads. It requires a ReplannableSource
+	// (e.g. ListSource); other sources are left untouched. Processes on
+	// storage-dead nodes get weight 0 and degraded nodes their DiskFactor —
+	// the §IV-D "load capacity" skew — so survivors absorb the backlog
+	// locally.
+	Replan bool
+	// ReplanSeed seeds the re-matching (each replan round perturbs it).
+	ReplanSeed int64
 	// Strategy labels the run in reports.
 	Strategy string
 }
@@ -126,6 +151,22 @@ type Options struct {
 type NodeFailure struct {
 	Node int
 	At   float64 // seconds after run start
+	// RecoverAt, when positive, restores the node's storage service at that
+	// time (a transient outage: the DataNode process restarts with its data
+	// intact, so the namenode metadata never changes). It must be greater
+	// than At. Zero means the crash is permanent.
+	RecoverAt float64
+}
+
+// NodeDegradation is one scheduled slow-node window: from At to Until
+// (Until 0 = rest of the run) the node's disk runs at DiskFactor and both
+// NIC directions at NICFactor of nominal bandwidth. Factors are in (0, 1].
+type NodeDegradation struct {
+	Node       int
+	At         float64
+	Until      float64
+	DiskFactor float64
+	NICFactor  float64
 }
 
 func (o *Options) validate() error {
@@ -190,6 +231,15 @@ type Result struct {
 	DiskUtilization []float64
 	// FailedNodes lists nodes whose storage service crashed during the run.
 	FailedNodes []int
+	// RecoveredNodes lists nodes whose storage service came back (transient
+	// failures), in recovery order.
+	RecoveredNodes []int
+	// Replans counts matcher re-runs that actually spliced a new backlog
+	// into the source.
+	Replans int
+	// RepairedChunks counts chunks re-replication brought back toward the
+	// configured replication factor.
+	RepairedChunks int
 }
 
 // IOTimes extracts per-read durations in completion order.
@@ -234,12 +284,17 @@ const (
 	kindRead pendingKind = iota
 	kindCompute
 	kindFailure
+	kindRecovery
+	kindRepair
+	kindDegrade
+	kindRestore
 )
 
 type pending struct {
 	kind pendingKind
 	proc int        // kindRead / kindCompute
-	node int        // kindFailure: the crashing node
+	node int        // kindFailure/kindRecovery/kindRepair/kindRestore: the node
+	idx  int        // kindFailure: Failures index; kindDegrade: Degradations index
 	rec  ReadRecord // valid for kindRead
 }
 
@@ -307,19 +362,53 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 	inflight := make(map[simnet.FlowID]pending, numProcs)
 	var waiting []int
 	failed := make(map[int]bool)
+	degraded := make(map[int]float64) // node -> disk factor currently in effect
+	finished := make([]bool, numProcs)
 
-	// Pending kindFailure timers are simnet flows, but they are not work:
-	// counting them as active would keep "stalled" false while every worker
-	// sits in the waiting list, letting a PollWait-answering source park the
-	// whole cluster until a far-future crash timer fires. Track them
-	// separately and subtract them from the active-work check.
-	failureTimers := 0
-	activeWork := func() int { return net.Active() - failureTimers }
+	// Pending fault timers (failure/recovery/repair/degrade/restore) are
+	// simnet flows, but they are not work: counting them as active would
+	// keep "stalled" false while every worker sits in the waiting list,
+	// letting a PollWait-answering source park the whole cluster until a
+	// far-future timer fires. Track them separately and subtract them from
+	// the active-work check.
+	auxTimers := 0
+	activeWork := func() int { return net.Active() - auxTimers }
 
 	var startTask, startInput, finishProc func(proc int)
 	var retryWaiting func()
 
 	avoidFailed := func(node int) bool { return failed[node] }
+
+	// nodeWeight is a process's current "load capacity" (§IV-D) for
+	// replanning. Failures take down a node's storage service, not its
+	// process: the process keeps computing but every read it issues goes
+	// remote, so its share is discounted by the remote/local read-speed
+	// ratio rather than zeroed — zeroing it would idle a live worker (and,
+	// for a transient outage, drain its list and terminate it before the
+	// node comes back). Degraded nodes are discounted by their disk factor.
+	remoteFactor := opts.Topo.UncontendedLocalRead(64) / opts.Topo.UncontendedRemoteRead(64)
+	nodeWeight := func(node int) float64 {
+		if failed[node] {
+			return remoteFactor
+		}
+		if f, ok := degraded[node]; ok {
+			return f
+		}
+		return 1
+	}
+	replannable, canReplan := src.(ReplannableSource)
+	maybeReplan := func() {
+		if !opts.Replan || !canReplan {
+			return
+		}
+		spliced, err := replanPending(p, replannable, finished, nodeWeight, opts.ReplanSeed+int64(res.Replans))
+		if err != nil {
+			panic(abortRun{err})
+		}
+		if spliced {
+			res.Replans++
+		}
+	}
 
 	startInput = func(proc int) {
 		st := &states[proc]
@@ -420,6 +509,7 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 
 	finishProc = func(proc int) {
 		res.ProcFinish[proc] = net.Now() - start
+		finished[proc] = true
 	}
 
 	net.OnComplete(func(now float64, f *simnet.Flow) {
@@ -460,9 +550,24 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 		case kindFailure:
 			// The node's storage service is gone: future picks avoid it and
 			// every read it was serving restarts against another replica.
-			failureTimers--
+			auxTimers--
+			fail := opts.Failures[pd.idx]
 			failed[pd.node] = true
 			res.FailedNodes = append(res.FailedNodes, pd.node)
+			if fail.RecoverAt == 0 && (opts.Repair || opts.Replan) {
+				// A permanent loss with the recovery subsystem on: record
+				// the crash in the namenode so repair and replanning see the
+				// true placement. (Transient outages never touch metadata —
+				// the node returns with its data intact.)
+				if _, _, err := opts.FS.Crash(pd.node); err != nil {
+					panic(abortRun{fmt.Errorf("engine: crash of node %d: %w", pd.node, err)})
+				}
+				if opts.Repair {
+					id := net.Start(nil, 0, opts.RepairDelay+1e-9, fmt.Sprintf("repair/node%d", pd.node))
+					inflight[id] = pending{kind: kindRepair, node: pd.node}
+					auxTimers++
+				}
+			}
 			var victims []simnet.FlowID
 			for id, infl := range inflight {
 				if infl.kind == kindRead && infl.rec.SrcNode == pd.node {
@@ -483,26 +588,95 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 				res.Retries++
 				startInput(victim.proc) // re-picks avoiding failed nodes
 			}
+			maybeReplan()
+		case kindRecovery:
+			// The DataNode process restarted; its replicas serve again. The
+			// per-read replica pick re-captures locality on its own, and a
+			// replan rebalances the surviving backlog shares.
+			auxTimers--
+			delete(failed, pd.node)
+			res.RecoveredNodes = append(res.RecoveredNodes, pd.node)
+			maybeReplan()
+		case kindRepair:
+			// The namenode's replication monitor caught up: under-replicated
+			// chunks regain copies on live nodes, changing the placement
+			// truth — exactly when a replan can win back locality.
+			auxTimers--
+			res.RepairedChunks += opts.FS.ReReplicate()
+			maybeReplan()
+		case kindDegrade:
+			auxTimers--
+			d := opts.Degradations[pd.idx]
+			degraded[d.Node] = d.DiskFactor
+			opts.Topo.DegradeNode(d.Node, d.DiskFactor, d.NICFactor)
+			maybeReplan()
+		case kindRestore:
+			auxTimers--
+			delete(degraded, pd.node)
+			opts.Topo.DegradeNode(pd.node, 1, 1)
+			maybeReplan()
 		}
 		// A completion may free up a task a waiting process was hoping for
 		// (or leave the cluster stalled, forcing the source's hand).
 		retryWaiting()
 	})
 
-	// Schedule the DataNode crashes as timers.
-	for _, fail := range opts.Failures {
+	// Schedule the DataNode crashes (and recoveries) as timers.
+	for i, fail := range opts.Failures {
 		if fail.Node < 0 || fail.Node >= opts.Topo.NumNodes() {
 			return nil, fmt.Errorf("engine: failure on invalid node %d", fail.Node)
 		}
 		if fail.At < 0 {
 			return nil, fmt.Errorf("engine: failure time %v must be non-negative", fail.At)
 		}
+		if fail.RecoverAt != 0 && fail.RecoverAt <= fail.At {
+			return nil, fmt.Errorf("engine: node %d recovery at %v must be after the failure at %v", fail.Node, fail.RecoverAt, fail.At)
+		}
 		// A zero delay would complete before any read begins; nudge it to
 		// "immediately after start" semantics either way.
 		id := net.Start(nil, 0, fail.At+1e-9, fmt.Sprintf("fail/node%d", fail.Node))
-		inflight[id] = pending{kind: kindFailure, node: fail.Node}
-		failureTimers++
+		inflight[id] = pending{kind: kindFailure, node: fail.Node, idx: i}
+		auxTimers++
+		if fail.RecoverAt > 0 {
+			id := net.Start(nil, 0, fail.RecoverAt+1e-9, fmt.Sprintf("recover/node%d", fail.Node))
+			inflight[id] = pending{kind: kindRecovery, node: fail.Node}
+			auxTimers++
+		}
 	}
+	if opts.RepairDelay < 0 {
+		return nil, fmt.Errorf("engine: repair delay %v must be non-negative", opts.RepairDelay)
+	}
+	// Schedule the degradation windows.
+	for i, d := range opts.Degradations {
+		if d.Node < 0 || d.Node >= opts.Topo.NumNodes() {
+			return nil, fmt.Errorf("engine: degradation on invalid node %d", d.Node)
+		}
+		if d.At < 0 {
+			return nil, fmt.Errorf("engine: degradation time %v must be non-negative", d.At)
+		}
+		if d.Until != 0 && d.Until <= d.At {
+			return nil, fmt.Errorf("engine: node %d degradation end %v must be after its start %v", d.Node, d.Until, d.At)
+		}
+		if d.DiskFactor <= 0 || d.DiskFactor > 1 || d.NICFactor <= 0 || d.NICFactor > 1 {
+			return nil, fmt.Errorf("engine: node %d degradation factors %v/%v must be in (0,1]", d.Node, d.DiskFactor, d.NICFactor)
+		}
+		id := net.Start(nil, 0, d.At+1e-9, fmt.Sprintf("degrade/node%d", d.Node))
+		inflight[id] = pending{kind: kindDegrade, node: d.Node, idx: i}
+		auxTimers++
+		if d.Until > 0 {
+			id := net.Start(nil, 0, d.Until+1e-9, fmt.Sprintf("restore/node%d", d.Node))
+			inflight[id] = pending{kind: kindRestore, node: d.Node, idx: i}
+			auxTimers++
+		}
+	}
+	// Whatever happens below, hand the shared topology back healthy: any
+	// degradation still in effect at exit (Until == 0, or an aborted run) is
+	// lifted so sequential rounds see nominal bandwidth again.
+	defer func() {
+		for node := range degraded {
+			opts.Topo.DegradeNode(node, 1, 1)
+		}
+	}()
 
 	if err := func() (err error) {
 		defer func() {

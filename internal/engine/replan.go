@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"opass/internal/core"
+)
+
+// This file implements degraded-mode replanning: when the placement truth
+// changes mid-run (a DataNode crash drops replicas, re-replication restores
+// them, a node recovers or slows down), the engine re-runs the Opass
+// matcher over the not-yet-started backlog against the surviving placement
+// and splices the result into the running source. Per-read failover alone
+// keeps the job correct but lets locality decay — every read that lost its
+// co-located copy goes to a random surviving holder; re-matching restores
+// the paper's balanced, local access pattern for the work that has not
+// begun (§III–IV applied online).
+
+// ReplannableSource is a TaskSource whose undispatched backlog can be
+// inspected and replaced mid-run — the seam replanning needs. ListSource
+// implements it; master/worker sources hold no per-process backlog and are
+// left untouched by replanning.
+type ReplannableSource interface {
+	TaskSource
+	// Pending returns each process's not-yet-dispatched tasks in dispatch
+	// order. The caller owns the returned slices.
+	Pending() [][]int
+	// Splice replaces every process's undispatched backlog. len(lists)
+	// must equal the process count; in-flight tasks are unaffected.
+	Splice(lists [][]int)
+}
+
+// Pending implements ReplannableSource.
+func (s *ListSource) Pending() [][]int {
+	out := make([][]int, len(s.lists))
+	for i := range s.lists {
+		out[i] = append([]int(nil), s.lists[i][s.pos[i]:]...)
+	}
+	return out
+}
+
+// Splice implements ReplannableSource.
+func (s *ListSource) Splice(lists [][]int) {
+	if len(lists) != len(s.lists) {
+		panic(fmt.Sprintf("engine: splice %d lists into a %d-process source", len(lists), len(s.lists)))
+	}
+	for i := range lists {
+		s.lists[i] = append([]int(nil), lists[i]...)
+		s.pos[i] = 0
+	}
+}
+
+// replanPending re-matches the backlog of src against the current placement
+// in p.FS and splices the result back. Processes that already terminated
+// receive nothing; the rest are weighted by weight(node) — fractions shrink
+// a process's share (a degraded disk, or a storage-dead node whose reads
+// all go remote), zero excludes it entirely — mirroring the §IV-D
+// load-capacity skew. It reports whether a new backlog was spliced.
+func replanPending(p *core.Problem, src ReplannableSource, finished []bool, weight func(node int) float64, seed int64) (bool, error) {
+	pendingLists := src.Pending()
+	if len(pendingLists) != len(finished) {
+		return false, fmt.Errorf("engine: replan: source reports %d processes, problem has %d", len(pendingLists), len(finished))
+	}
+	var taskIDs []int
+	for _, list := range pendingLists {
+		taskIDs = append(taskIDs, list...)
+	}
+	if len(taskIDs) == 0 {
+		return false, nil
+	}
+	sort.Ints(taskIDs)
+	var alive []int
+	for proc := range pendingLists {
+		if !finished[proc] {
+			alive = append(alive, proc)
+		}
+	}
+	if len(alive) == 0 {
+		// A backlog with every process terminated cannot happen with list
+		// sources (a process only terminates once its list drains); leave
+		// the backlog untouched rather than strand it silently.
+		return false, nil
+	}
+
+	// Build a dense sub-problem over the backlog and the live processes.
+	sub := &core.Problem{
+		FS:       p.FS,
+		ProcNode: make([]int, len(alive)),
+		Tasks:    make([]core.Task, len(taskIDs)),
+	}
+	weights := make([]float64, len(alive))
+	uniform := true
+	var sum float64
+	for i, proc := range alive {
+		sub.ProcNode[i] = p.ProcNode[proc]
+		weights[i] = weight(p.ProcNode[proc])
+		sum += weights[i]
+		if weights[i] != weights[0] {
+			uniform = false
+		}
+	}
+	multi := false
+	for i, id := range taskIDs {
+		sub.Tasks[i] = core.Task{ID: i, Inputs: p.Tasks[id].Inputs}
+		if len(p.Tasks[id].Inputs) > 1 {
+			multi = true
+		}
+	}
+
+	var (
+		a   *core.Assignment
+		err error
+	)
+	if multi {
+		a, err = core.MultiData{Seed: seed}.Assign(sub)
+	} else {
+		sd := core.SingleData{Seed: seed}
+		// Skewed shares only when they differ and are usable; all-equal (or
+		// degenerate all-zero) weights fall back to the uniform quota.
+		if !uniform && sum > 0 {
+			sd.Weights = weights
+		}
+		a, err = sd.Assign(sub)
+	}
+	if err != nil {
+		return false, fmt.Errorf("engine: replan: %w", err)
+	}
+
+	lists := make([][]int, len(pendingLists))
+	for i, proc := range alive {
+		mapped := make([]int, len(a.Lists[i]))
+		for k, st := range a.Lists[i] {
+			mapped[k] = taskIDs[st]
+		}
+		lists[proc] = mapped
+	}
+	src.Splice(lists)
+	return true, nil
+}

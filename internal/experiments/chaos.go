@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"opass/internal/core"
+	"opass/internal/engine"
+	"opass/internal/workload"
+)
+
+// This file is the chaos harness: a sweep of seeded fault scenarios run
+// twice each — once with per-read failover only (the baseline the original
+// fault experiment exercises) and once with the recovery subsystem on
+// (post-crash re-replication plus degraded-mode replanning). Every run is
+// checked against hard invariants (the network ends idle, no read is
+// served by a dead node, both variants execute every task), and the
+// scenarios flag which strict improvements the recovered run must show.
+
+// ChaosScenario is one seeded fault injection to sweep.
+type ChaosScenario struct {
+	Name         string
+	Failures     []engine.NodeFailure
+	Degradations []engine.NodeDegradation
+	RepairDelay  float64
+	// AssertLocality requires the replanned run to strictly beat the
+	// failover-only run on post-failure local fraction; AssertMakespan
+	// requires a strictly shorter makespan. Transient scenarios assert
+	// neither — there the harness only checks the safety invariants.
+	AssertLocality bool
+	AssertMakespan bool
+}
+
+// chaosScenarios builds the sweep for a cluster of the given size. The
+// node indices scale with the cluster so -scale keeps them valid.
+func chaosScenarios(nodes int) []ChaosScenario {
+	return []ChaosScenario{
+		{
+			Name:           "crash-early",
+			Failures:       []engine.NodeFailure{{Node: 1, At: 1.0}},
+			RepairDelay:    2.0,
+			AssertLocality: true,
+			AssertMakespan: true,
+		},
+		{
+			Name:           "crash-late",
+			Failures:       []engine.NodeFailure{{Node: nodes / 2, At: 3.0}},
+			RepairDelay:    1.5,
+			AssertLocality: true,
+			AssertMakespan: true,
+		},
+		{
+			Name: "double-crash",
+			Failures: []engine.NodeFailure{
+				{Node: 1, At: 1.0},
+				{Node: nodes / 2, At: 2.5},
+			},
+			RepairDelay:    1.5,
+			AssertLocality: true,
+			AssertMakespan: true,
+		},
+		{
+			Name:     "transient-outage",
+			Failures: []engine.NodeFailure{{Node: 2, At: 0.5, RecoverAt: 2.5}},
+		},
+		{
+			// A slow disk never changes placement, so failover-only stays
+			// fully local — only the makespan can (and must) improve.
+			Name: "degraded-disk",
+			Degradations: []engine.NodeDegradation{
+				{Node: 1, At: 0.5, DiskFactor: 0.15, NICFactor: 1.0},
+			},
+			AssertMakespan: true,
+		},
+	}
+}
+
+// ChaosRun is one scenario×seed comparison.
+type ChaosRun struct {
+	Scenario string
+	Seed     int64
+	Failover StrategyResult
+	Replan   StrategyResult
+	// Post-failure local fractions: the local share of bytes read at or
+	// after the first fault event.
+	FailoverPostLocal float64
+	ReplanPostLocal   float64
+	Replans           int
+	RepairedChunks    int
+	Retries           int
+}
+
+// ChaosResult is the full sweep.
+type ChaosResult struct {
+	Nodes int
+	Runs  []ChaosRun
+}
+
+// faultStart returns the virtual time of the first fault event — the
+// cutoff for the post-failure locality comparison.
+func faultStart(s ChaosScenario) float64 {
+	start := -1.0
+	for _, f := range s.Failures {
+		if start < 0 || f.At < start {
+			start = f.At
+		}
+	}
+	for _, d := range s.Degradations {
+		if start < 0 || d.At < start {
+			start = d.At
+		}
+	}
+	if start < 0 {
+		return 0
+	}
+	return start
+}
+
+// postLocalFraction is the local share of megabytes read by reads starting
+// at or after the cutoff (1 when nothing started after it).
+func postLocalFraction(res *engine.Result, after float64) float64 {
+	var local, total float64
+	for _, rec := range res.Records {
+		if rec.Start < after {
+			continue
+		}
+		total += rec.SizeMB
+		if rec.Local {
+			local += rec.SizeMB
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return local / total
+}
+
+// checkInvariants enforces the scenario-independent safety properties of a
+// completed run.
+func checkInvariants(scenario string, seed int64, rig *workload.Rig, s ChaosScenario, res *engine.Result, tasks int) error {
+	where := fmt.Sprintf("chaos %s seed %d (%s)", scenario, seed, res.Strategy)
+	if n := rig.Topo.Net().Active(); n != 0 {
+		return fmt.Errorf("%s: %d flows still active after the run", where, n)
+	}
+	if res.TasksRun != tasks {
+		return fmt.Errorf("%s: ran %d tasks, want %d", where, res.TasksRun, tasks)
+	}
+	for _, f := range s.Failures {
+		until := f.RecoverAt
+		for _, rec := range res.Records {
+			if rec.SrcNode != f.Node {
+				continue
+			}
+			down := rec.End > f.At+1e-9 && (until == 0 || rec.Start < until)
+			if down {
+				return fmt.Errorf("%s: read of chunk %d served by node %d while it was down (%.3f-%.3f)",
+					where, rec.Chunk, f.Node, rec.Start, rec.End)
+			}
+		}
+	}
+	return nil
+}
+
+// Chaos sweeps the fault scenarios over two seeds, comparing per-read
+// failover against the full recovery subsystem and enforcing every
+// scenario's invariants. It returns an error on any violation — the sweep
+// is a runnable acceptance harness, not just a report.
+func Chaos(cfg Config) (*ChaosResult, error) {
+	nodes := cfg.scale(64)
+	if nodes < 8 {
+		return nil, fmt.Errorf("chaos: %d nodes too small for the scenario set (need >= 8)", nodes)
+	}
+	const chunksPerProc = 8
+	tasks := nodes * chunksPerProc
+	out := &ChaosResult{Nodes: nodes}
+	for _, s := range chaosScenarios(nodes) {
+		for _, seed := range []int64{cfg.Seed, cfg.Seed + 1} {
+			run := func(recover bool) (*workload.Rig, *engine.Result, error) {
+				rig, err := workload.SingleSpec{Nodes: nodes, ChunksPerProc: chunksPerProc, Seed: seed}.Build()
+				if err != nil {
+					return nil, nil, err
+				}
+				a, err := (core.SingleData{Seed: seed}).Assign(rig.Prob)
+				if err != nil {
+					return nil, nil, err
+				}
+				label := "failover"
+				opts := engine.Options{
+					Topo: rig.Topo, FS: rig.FS, Problem: rig.Prob,
+					Failures: s.Failures, Degradations: s.Degradations,
+				}
+				if recover {
+					label = "replan"
+					opts.Replan = true
+					opts.Repair = true
+					opts.RepairDelay = s.RepairDelay
+					opts.ReplanSeed = seed
+				}
+				opts.Strategy = label
+				res, err := engine.RunAssignment(opts, a)
+				if err != nil {
+					return nil, nil, fmt.Errorf("chaos %s seed %d (%s): %w", s.Name, seed, label, err)
+				}
+				if err := checkInvariants(s.Name, seed, rig, s, res, tasks); err != nil {
+					return nil, nil, err
+				}
+				return rig, res, nil
+			}
+			_, fo, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			_, rp, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			cut := faultStart(s)
+			row := ChaosRun{
+				Scenario:          s.Name,
+				Seed:              seed,
+				Failover:          strategyResult(nodes, fo),
+				Replan:            strategyResult(nodes, rp),
+				FailoverPostLocal: postLocalFraction(fo, cut),
+				ReplanPostLocal:   postLocalFraction(rp, cut),
+				Replans:           rp.Replans,
+				RepairedChunks:    rp.RepairedChunks,
+				Retries:           rp.Retries,
+			}
+			if s.AssertLocality && !(row.ReplanPostLocal > row.FailoverPostLocal) {
+				return nil, fmt.Errorf("chaos %s seed %d: post-failure local fraction did not improve (replan %.4f vs failover %.4f)",
+					s.Name, seed, row.ReplanPostLocal, row.FailoverPostLocal)
+			}
+			if s.AssertMakespan && !(row.Replan.Makespan < row.Failover.Makespan) {
+				return nil, fmt.Errorf("chaos %s seed %d: makespan did not improve (replan %.3f vs failover %.3f)",
+					s.Name, seed, row.Replan.Makespan, row.Failover.Makespan)
+			}
+			if (s.AssertLocality || s.AssertMakespan) && row.Replans == 0 {
+				return nil, fmt.Errorf("chaos %s seed %d: recovery run never replanned", s.Name, seed)
+			}
+			out.Runs = append(out.Runs, row)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the sweep as one row per scenario×seed.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos harness — failover vs replan+repair (%d nodes, all invariants held)\n", r.Nodes)
+	fmt.Fprintf(&b, "  %-18s %5s  %22s  %22s  %7s %8s %7s\n",
+		"scenario", "seed", "makespan fo->rp (s)", "post-fail local (%)", "replans", "repaired", "retries")
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "  %-18s %5d  %9.2f -> %9.2f  %9.1f -> %9.1f  %7d %8d %7d\n",
+			run.Scenario, run.Seed,
+			run.Failover.Makespan, run.Replan.Makespan,
+			100*run.FailoverPostLocal, 100*run.ReplanPostLocal,
+			run.Replans, run.RepairedChunks, run.Retries)
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestChaosSweepHoldsInvariants(t *testing.T) {
+	// Scale 4 => 16 nodes: big enough for every scenario's node indices,
+	// small enough for CI. Chaos itself errors on any invariant violation
+	// or missing strict improvement, so success is the assertion.
+	r, err := Chaos(Config{Seed: 7, Scale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := 5 * 2 // scenarios x seeds
+	if len(r.Runs) != wantRuns {
+		t.Fatalf("sweep produced %d runs, want %d", len(r.Runs), wantRuns)
+	}
+	for _, run := range r.Runs {
+		if run.Scenario != "degraded-disk" && run.Retries == 0 && run.Scenario != "crash-late" {
+			// Early crashes interrupt in-flight reads with high
+			// probability; a zero here would mean the injection never bit.
+			if run.Scenario == "crash-early" || run.Scenario == "double-crash" {
+				t.Errorf("%s seed %d: no retries recorded", run.Scenario, run.Seed)
+			}
+		}
+	}
+	if out := r.Render(); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestChaosRejectsTinyClusters(t *testing.T) {
+	if _, err := Chaos(Config{Seed: 1, Scale: 16}); err == nil {
+		t.Fatal("4-node sweep must be rejected (scenario nodes out of range)")
+	}
+}

@@ -1,0 +1,161 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"opass/internal/telemetry"
+)
+
+// faultRequest is a layout big enough for a crash mid-run to leave a
+// backlog worth replanning: 16 nodes, 64 tasks, three replicas each.
+func faultRequest(strategy string) PlanRequest {
+	req := PlanRequest{Nodes: 16, Strategy: strategy, Seed: 3}
+	for i := 0; i < 64; i++ {
+		req.Tasks = append(req.Tasks, TaskSpec{Inputs: []InputSpec{{
+			SizeMB:   64,
+			Replicas: []int{i % 16, (i + 5) % 16, (i + 11) % 16},
+		}}})
+	}
+	return req
+}
+
+func TestSimulateWithFaultModel(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(NewHandler(ServerOptions{Registry: reg}))
+	defer srv.Close()
+
+	req := faultRequest("opass")
+	req.Failures = []FailureSpec{{Node: 1, AtSeconds: 0.5}}
+	req.Replan = true
+	req.Repair = true
+	req.RepairDelaySeconds = 1.0
+	resp, body := post(t, srv, "/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SimulateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Tasks != 64 {
+		t.Fatalf("simulated %d tasks, want 64", out.Summary.Tasks)
+	}
+	if len(out.Summary.FailedNodes) != 1 || out.Summary.FailedNodes[0] != 1 {
+		t.Fatalf("failed_nodes = %v, want [1]", out.Summary.FailedNodes)
+	}
+	if out.Summary.Replans == 0 {
+		t.Fatal("summary reports no replans despite replan=true and a crash")
+	}
+	if out.Summary.RepairedChunks == 0 {
+		t.Fatal("summary reports no repaired chunks despite repair=true")
+	}
+
+	// The recovery counters surface on /metrics.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(raw)
+	for _, name := range []string{MetricEngineRetries, MetricEngineReplans, MetricEngineRepairedChunks} {
+		if !strings.Contains(text, name) {
+			t.Fatalf("metrics exposition missing %s", name)
+		}
+	}
+}
+
+func TestSimulateTransientFailureReportsRecovery(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	req := faultRequest("opass")
+	req.Failures = []FailureSpec{{Node: 2, AtSeconds: 0.3, RecoverAtSeconds: 1.5}}
+	resp, body := post(t, srv, "/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SimulateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Summary.RecoveredNodes) != 1 || out.Summary.RecoveredNodes[0] != 2 {
+		t.Fatalf("recovered_nodes = %v, want [2]", out.Summary.RecoveredNodes)
+	}
+	if out.Summary.Tasks != 64 {
+		t.Fatalf("simulated %d tasks, want 64", out.Summary.Tasks)
+	}
+}
+
+func TestFaultSpecValidation(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	cases := []func(*PlanRequest){
+		func(r *PlanRequest) { r.Failures = []FailureSpec{{Node: 99, AtSeconds: 1}} },
+		func(r *PlanRequest) { r.Failures = []FailureSpec{{Node: 0, AtSeconds: -1}} },
+		func(r *PlanRequest) { r.Failures = []FailureSpec{{Node: 0, AtSeconds: 2, RecoverAtSeconds: 1}} },
+		func(r *PlanRequest) {
+			r.Degradations = []DegradationSpec{{Node: 0, AtSeconds: 1, DiskFactor: 0, NICFactor: 1}}
+		},
+		func(r *PlanRequest) {
+			r.Degradations = []DegradationSpec{{Node: 0, AtSeconds: 1, DiskFactor: 0.5, NICFactor: 1.5}}
+		},
+		func(r *PlanRequest) {
+			r.Degradations = []DegradationSpec{{Node: 0, AtSeconds: 2, UntilSeconds: 1, DiskFactor: 0.5, NICFactor: 0.5}}
+		},
+		func(r *PlanRequest) {
+			r.Degradations = []DegradationSpec{{Node: 99, AtSeconds: 1, DiskFactor: 0.5, NICFactor: 0.5}}
+		},
+		func(r *PlanRequest) { r.RepairDelaySeconds = -1 },
+	}
+	for i, mutate := range cases {
+		req := faultRequest("opass")
+		mutate(&req)
+		resp, body := post(t, srv, "/v1/simulate", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d, want 400: %s", i, resp.StatusCode, body)
+		}
+	}
+}
+
+// The fault model is simulate-only: /v1/plan accepts the fields but the
+// plan it returns is computed from the layout as given.
+func TestPlanIgnoresFaultModel(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	plain, body := post(t, srv, "/v1/plan", faultRequest("opass"))
+	if plain.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", plain.StatusCode, body)
+	}
+	var base PlanResponse
+	if err := json.Unmarshal(body, &base); err != nil {
+		t.Fatal(err)
+	}
+
+	req := faultRequest("opass")
+	req.Failures = []FailureSpec{{Node: 1, AtSeconds: 0.5}}
+	req.Replan = true
+	resp, body := post(t, srv, "/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var faulted PlanResponse
+	if err := json.Unmarshal(body, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if len(faulted.Owner) != len(base.Owner) {
+		t.Fatalf("plan shape changed: %d vs %d owners", len(faulted.Owner), len(base.Owner))
+	}
+	for i := range base.Owner {
+		if faulted.Owner[i] != base.Owner[i] {
+			t.Fatalf("owner[%d] differs (%d vs %d): fault fields leaked into planning", i, faulted.Owner[i], base.Owner[i])
+		}
+	}
+}

@@ -52,17 +52,24 @@ import (
 // Metric family names recorded by the handler (beyond the per-route series
 // the telemetry middleware owns).
 const (
-	MetricPlannerLatency   = "opass_planner_latency_seconds"
-	MetricPlanLocality     = "opass_plan_locality_fraction"
-	MetricPlans            = "opass_plans_total"
-	MetricSimRuns          = "opass_sim_runs_total"
-	MetricSimTasks         = "opass_sim_tasks_total"
-	MetricSimRetries       = "opass_sim_retries_total"
-	MetricSimLastMakespan  = "opass_sim_last_makespan_seconds"
-	MetricSimLastTasksRun  = "opass_sim_last_tasks_run"
-	MetricSimLastRetries   = "opass_sim_last_retries"
-	MetricSimLastLocality  = "opass_sim_last_local_fraction"
-	MetricRequestsRejected = "opass_requests_rejected_total"
+	MetricPlannerLatency = "opass_planner_latency_seconds"
+	MetricPlanLocality   = "opass_plan_locality_fraction"
+	MetricPlans          = "opass_plans_total"
+	MetricSimRuns        = "opass_sim_runs_total"
+	MetricSimTasks       = "opass_sim_tasks_total"
+	MetricSimRetries     = "opass_sim_retries_total"
+	// MetricEngineRetries, MetricEngineReplans and MetricEngineRepairedChunks
+	// count the engine's fault-recovery work across all simulations: reads
+	// retried after a DataNode loss, backlog replans spliced into running
+	// jobs, and chunks restored to full replication by the repair pass.
+	MetricEngineRetries        = "opass_engine_retries_total"
+	MetricEngineReplans        = "opass_engine_replans_total"
+	MetricEngineRepairedChunks = "opass_engine_repaired_chunks_total"
+	MetricSimLastMakespan      = "opass_sim_last_makespan_seconds"
+	MetricSimLastTasksRun      = "opass_sim_last_tasks_run"
+	MetricSimLastRetries       = "opass_sim_last_retries"
+	MetricSimLastLocality      = "opass_sim_last_local_fraction"
+	MetricRequestsRejected     = "opass_requests_rejected_total"
 	// MetricRequestsShed counts requests refused by the admission layer,
 	// by route and reason (queue_timeout, draining).
 	MetricRequestsShed = "opass_requests_shed_total"
@@ -149,6 +156,27 @@ type TaskSpec struct {
 	Inputs []InputSpec `json:"inputs"`
 }
 
+// FailureSpec schedules a DataNode outage in a simulation: the node stops
+// serving reads at at_seconds; a zero recover_at_seconds makes the loss
+// permanent, a positive one (strictly after at_seconds) brings the node
+// back with its data intact.
+type FailureSpec struct {
+	Node             int     `json:"node"`
+	AtSeconds        float64 `json:"at_seconds"`
+	RecoverAtSeconds float64 `json:"recover_at_seconds,omitempty"`
+}
+
+// DegradationSpec slows a node's hardware in a simulation: from at_seconds
+// until until_seconds (zero = rest of the run) its disk and NIC run at the
+// given fractions of nominal speed (each in (0, 1]).
+type DegradationSpec struct {
+	Node         int     `json:"node"`
+	AtSeconds    float64 `json:"at_seconds"`
+	UntilSeconds float64 `json:"until_seconds,omitempty"`
+	DiskFactor   float64 `json:"disk_factor"`
+	NICFactor    float64 `json:"nic_factor"`
+}
+
 // PlanRequest is the body of POST /v1/plan and /v1/simulate.
 type PlanRequest struct {
 	// Nodes is the cluster size; processes default to one per node
@@ -158,6 +186,18 @@ type PlanRequest struct {
 	Strategy  string     `json:"strategy,omitempty"` // opass | rank | random | greedy
 	Seed      int64      `json:"seed,omitempty"`
 	Tasks     []TaskSpec `json:"tasks"`
+
+	// The fault model below only affects /v1/simulate (and is excluded
+	// from the plan-cache fingerprint): /v1/plan answers from the layout
+	// as given. Replan re-runs the planner over the not-yet-started
+	// backlog whenever the placement truth changes mid-run; Repair
+	// re-replicates under-replicated chunks RepairDelaySeconds after a
+	// permanent crash.
+	Failures           []FailureSpec     `json:"failures,omitempty"`
+	Degradations       []DegradationSpec `json:"degradations,omitempty"`
+	Replan             bool              `json:"replan,omitempty"`
+	Repair             bool              `json:"repair,omitempty"`
+	RepairDelaySeconds float64           `json:"repair_delay_seconds,omitempty"`
 }
 
 // PlanResponse is the body returned by POST /v1/plan.
@@ -285,6 +325,9 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricSimRuns, "Simulations executed.")
 	reg.Help(MetricSimTasks, "Tasks executed across all simulations.")
 	reg.Help(MetricSimRetries, "Reads retried after DataNode failures across all simulations.")
+	reg.Help(MetricEngineRetries, "Reads retried after DataNode failures across all simulations.")
+	reg.Help(MetricEngineReplans, "Backlog replans spliced into running simulations.")
+	reg.Help(MetricEngineRepairedChunks, "Chunks restored to full replication by the repair pass, across all simulations.")
 	reg.Help(MetricSimLastMakespan, "Makespan of the most recent simulation, seconds of virtual time.")
 	reg.Help(MetricSimLastTasksRun, "Tasks executed by the most recent simulation.")
 	reg.Help(MetricSimLastRetries, "Retried reads in the most recent simulation.")
@@ -422,9 +465,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	topo := cluster.New(req.Nodes, cluster.Marmot())
 	// Rebuild the problem against the simulation topology (the layout
 	// FS carries no hardware).
-	res, err := engine.RunAssignmentContext(ctx, engine.Options{
+	eopts := engine.Options{
 		Topo: topo, FS: prob.FS, Problem: prob, Strategy: resp.Strategy,
-	}, assignment)
+		Replan: req.Replan, Repair: req.Repair,
+		RepairDelay: req.RepairDelaySeconds, ReplanSeed: req.Seed,
+	}
+	for _, f := range req.Failures {
+		eopts.Failures = append(eopts.Failures, engine.NodeFailure{
+			Node: f.Node, At: f.AtSeconds, RecoverAt: f.RecoverAtSeconds,
+		})
+	}
+	for _, d := range req.Degradations {
+		eopts.Degradations = append(eopts.Degradations, engine.NodeDegradation{
+			Node: d.Node, At: d.AtSeconds, Until: d.UntilSeconds,
+			DiskFactor: d.DiskFactor, NICFactor: d.NICFactor,
+		})
+	}
+	res, err := engine.RunAssignmentContext(ctx, eopts, assignment)
 	if err != nil {
 		if s.aborted(w, r, err) {
 			return
@@ -437,6 +494,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(MetricSimRuns).Inc()
 	s.reg.Counter(MetricSimTasks).Add(float64(res.TasksRun))
 	s.reg.Counter(MetricSimRetries).Add(float64(res.Retries))
+	s.reg.Counter(MetricEngineRetries).Add(float64(res.Retries))
+	s.reg.Counter(MetricEngineReplans).Add(float64(res.Replans))
+	s.reg.Counter(MetricEngineRepairedChunks).Add(float64(res.RepairedChunks))
 	s.reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
 	s.reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
 	s.reg.Gauge(MetricSimLastRetries).Set(float64(res.Retries))
@@ -584,6 +644,9 @@ func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, *apiError) {
 	if len(req.Tasks) == 0 {
 		return nil, nil, badRequest("invalid", "tasks must be non-empty")
 	}
+	if apiErr := validateFaults(&req); apiErr != nil {
+		return nil, nil, apiErr
+	}
 	// Cap planner work before any of it happens: a 32 MiB body of
 	// one-replica micro-tasks must not drive unbounded planning.
 	if len(req.Tasks) > maxTasks {
@@ -720,6 +783,41 @@ func planSizeBytes(resp *PlanResponse) int64 {
 		n += 24 + int64(len(l))*8
 	}
 	return n + 256
+}
+
+// validateFaults rejects malformed fault specs with specific messages
+// before any planning happens — the engine re-validates, but its errors
+// would surface as a 500 after the planner already ran.
+func validateFaults(req *PlanRequest) *apiError {
+	for i, f := range req.Failures {
+		if f.Node < 0 || f.Node >= req.Nodes {
+			return badRequest("invalid", "failures[%d]: node %d outside cluster", i, f.Node)
+		}
+		if f.AtSeconds < 0 {
+			return badRequest("invalid", "failures[%d]: at_seconds must be non-negative", i)
+		}
+		if f.RecoverAtSeconds != 0 && f.RecoverAtSeconds <= f.AtSeconds {
+			return badRequest("invalid", "failures[%d]: recover_at_seconds must be after at_seconds", i)
+		}
+	}
+	for i, d := range req.Degradations {
+		if d.Node < 0 || d.Node >= req.Nodes {
+			return badRequest("invalid", "degradations[%d]: node %d outside cluster", i, d.Node)
+		}
+		if d.AtSeconds < 0 {
+			return badRequest("invalid", "degradations[%d]: at_seconds must be non-negative", i)
+		}
+		if d.UntilSeconds != 0 && d.UntilSeconds <= d.AtSeconds {
+			return badRequest("invalid", "degradations[%d]: until_seconds must be after at_seconds", i)
+		}
+		if !(d.DiskFactor > 0 && d.DiskFactor <= 1) || !(d.NICFactor > 0 && d.NICFactor <= 1) {
+			return badRequest("invalid", "degradations[%d]: disk_factor and nic_factor must be in (0, 1]", i)
+		}
+	}
+	if req.RepairDelaySeconds < 0 {
+		return badRequest("invalid", "repair_delay_seconds must be non-negative")
+	}
+	return nil
 }
 
 // plan answers the request from the fingerprinted plan cache when it can,

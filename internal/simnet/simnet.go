@@ -88,6 +88,11 @@ type Network struct {
 	onDone    CompletionHandler
 	dirty     bool // rates need recomputation
 
+	// scales[i] multiplies resources[i].Capacity; 1 for a healthy resource.
+	// Degraded-node fault injection lowers it (a sick disk or flapping NIC
+	// delivering a fraction of nominal throughput).
+	scales []float64
+
 	// scratch buffers reused across rate computations
 	load    []int
 	remCap  []float64
@@ -132,8 +137,27 @@ func (n *Network) growScratch() {
 		n.remCap = append(n.remCap, 0)
 		n.cnt = append(n.cnt, 0)
 		n.workMB = append(n.workMB, 0)
+		n.scales = append(n.scales, 1)
 	}
 }
+
+// SetScale sets the capacity multiplier of resource id: a degraded device
+// delivers scale × its nominal bandwidth until restored with scale 1. The
+// multiplier must be positive. Rates are recomputed at the next event, so
+// in-flight transfers slow down (or speed up) from the current instant on —
+// the fluid-model analogue of a device losing throughput mid-transfer.
+// Nominal Capacity, and with it Utilization's denominator, is unchanged, so
+// a degraded disk correctly reports low utilization of its rated bandwidth.
+func (n *Network) SetScale(id ResourceID, scale float64) {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("simnet: resource %q scale %v must be positive and finite", n.resources[int(id)].Name, scale))
+	}
+	n.scales[int(id)] = scale
+	n.dirty = true
+}
+
+// Scale reports the current capacity multiplier of resource id.
+func (n *Network) Scale(id ResourceID) float64 { return n.scales[int(id)] }
 
 // WorkMB reports the megabytes that have moved through resource id so far.
 func (n *Network) WorkMB(id ResourceID) float64 {
@@ -236,11 +260,12 @@ func (n *Network) recomputeRates() {
 	for i, r := range n.resources {
 		k := n.load[i]
 		n.cnt[i] = k
+		effective := r.Capacity * n.scales[i]
 		if k == 0 {
-			n.remCap[i] = r.Capacity
+			n.remCap[i] = effective
 			continue
 		}
-		n.remCap[i] = r.Capacity / (1 + r.SeekPenalty*float64(k-1))
+		n.remCap[i] = effective / (1 + r.SeekPenalty*float64(k-1))
 	}
 	// Progressive filling: repeatedly saturate the tightest resource.
 	frozen := make(map[FlowID]bool, transferring)

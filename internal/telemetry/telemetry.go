@@ -224,6 +224,16 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		}
 		hi := s.Bounds[i]
 		if c == 0 {
+			// The quantile landed on an empty bucket (possible at the rank
+			// boundaries, e.g. Quantile(0) against an untouched first bucket).
+			// Its upper bound can sit outside the observed range, so clamp
+			// exactly as the interpolated path below does.
+			if hi < s.Min {
+				return s.Min
+			}
+			if hi > s.Max {
+				return s.Max
+			}
 			return hi
 		}
 		frac := (rank - float64(run-c)) / float64(c)

@@ -95,6 +95,24 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	}
 }
 
+func TestQuantileEmptyBucketClampedToObservedRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 3})
+	h.Observe(1.5) // only the (1,2] bucket is occupied
+	s := h.Snapshot()
+	// Quantile(0) has rank 0, which lands on the empty (..1] bucket; its
+	// upper bound (1) sits below the observed minimum. The estimate must be
+	// clamped to the observed range, like every other quantile.
+	if got := s.Quantile(0); got != 1.5 {
+		t.Fatalf("Quantile(0) = %v, want the observed min 1.5", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if v := s.Quantile(q); v < s.Min || v > s.Max {
+			t.Fatalf("Quantile(%v) = %v outside observed range [%v,%v]", q, v, s.Min, s.Max)
+		}
+	}
+}
+
 func TestHistogramRejectsNaNClampsInf(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", []float64{1, 2})

@@ -70,20 +70,29 @@ type Summary struct {
 	Fairness      float64         `json:"jain_fairness"`
 	Retries       int             `json:"retries,omitempty"`
 	FailedNodes   []int           `json:"failed_nodes,omitempty"`
+	// Fault-recovery counters: nodes that came back from a transient
+	// outage, backlog replans spliced into the run, and chunks restored to
+	// full replication by the repair pass.
+	RecoveredNodes []int `json:"recovered_nodes,omitempty"`
+	Replans        int   `json:"replans,omitempty"`
+	RepairedChunks int   `json:"repaired_chunks,omitempty"`
 }
 
 // Summarize converts an engine result into the JSON envelope.
 func Summarize(res *engine.Result) Summary {
 	return Summary{
-		Strategy:      res.Strategy,
-		Tasks:         res.TasksRun,
-		Makespan:      res.Makespan,
-		IO:            metrics.Summarize(res.IOTimes()),
-		Served:        metrics.Summarize(res.ServedMB),
-		LocalFraction: res.LocalFraction(),
-		Fairness:      metrics.JainIndex(res.ServedMB),
-		Retries:       res.Retries,
-		FailedNodes:   res.FailedNodes,
+		Strategy:       res.Strategy,
+		Tasks:          res.TasksRun,
+		Makespan:       res.Makespan,
+		IO:             metrics.Summarize(res.IOTimes()),
+		Served:         metrics.Summarize(res.ServedMB),
+		LocalFraction:  res.LocalFraction(),
+		Fairness:       metrics.JainIndex(res.ServedMB),
+		Retries:        res.Retries,
+		FailedNodes:    res.FailedNodes,
+		RecoveredNodes: res.RecoveredNodes,
+		Replans:        res.Replans,
+		RepairedChunks: res.RepairedChunks,
 	}
 }
 
