@@ -299,6 +299,47 @@ func BenchmarkDynamicSchedulerDrain(b *testing.B) {
 	}
 }
 
+// BenchmarkReplanAfterCrashCold and BenchmarkReplanAfterCrashDelta contrast
+// the engine's two answers to a single DataNode loss mid-run: a
+// whole-backlog re-match versus the O(delta) replan that re-matches only
+// the tasks the crash could have moved (epoch-dirty inputs, replicas on
+// the dead node, or queued on its process).
+func BenchmarkReplanAfterCrashCold(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			r, err := plannerbench.BuildReplanRig(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.ReplanCold(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplanAfterCrashDelta(b *testing.B) {
+	for _, procs := range plannerbench.Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			r, err := plannerbench.BuildReplanRig(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ReplanDelta(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMaxFlowEK and BenchmarkMaxFlowDinic isolate the flow solvers on
 // the raw locality network (64 procs x 640 files x 3 replicas).
 func maxflowNetwork(b *testing.B) (*bipartite.FlowNetwork, int, int) {

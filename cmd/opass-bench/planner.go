@@ -66,9 +66,11 @@ func runPlannerBench() (*benchReport, error) {
 			row.Name, row.Procs, row.Tasks, row.NsPerOp, row.AllocsPerOp)
 		return row
 	}
-	pair := func(name string, procs, tasks int, probe, indexed func(b *testing.B)) {
-		p := record(name+"/probe", procs, tasks, probe)
-		ix := record(name+"/indexed", procs, tasks, indexed)
+	// pair benchmarks a slow/fast contrast (baseSuffix vs fastSuffix) and
+	// records the speedup of the second over the first.
+	pair := func(name, baseSuffix, fastSuffix string, procs, tasks int, base, fast func(b *testing.B)) {
+		p := record(name+"/"+baseSuffix, procs, tasks, base)
+		ix := record(name+"/"+fastSuffix, procs, tasks, fast)
 		if ix.NsPerOp > 0 {
 			rep.Speedups = append(rep.Speedups, benchSpeedup{
 				Name: name, Procs: procs, Tasks: tasks, Speedup: p.NsPerOp / ix.NsPerOp,
@@ -87,7 +89,7 @@ func runPlannerBench() (*benchReport, error) {
 			return nil, err
 		}
 
-		pair("locality-graph", procs, tasks,
+		pair("locality-graph", "probe", "indexed", procs, tasks,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -100,7 +102,7 @@ func runPlannerBench() (*benchReport, error) {
 					plannerbench.LocalityGraphIndexed(sp)
 				}
 			})
-		pair("multidata-prefs", procs, tasks,
+		pair("multidata-prefs", "probe", "indexed", procs, tasks,
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -144,6 +146,32 @@ func runPlannerBench() (*benchReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Incremental series: one DataNode loss answered by a full backlog
+		// re-match versus the O(delta) replan. The speedup row is the
+		// epoch machinery's payoff; the acceptance bar is delta < 10% of
+		// cold at the largest size.
+		rig, err := plannerbench.BuildReplanRig(procs)
+		if err != nil {
+			return nil, err
+		}
+		pair("replan-after-crash", "cold", "delta", procs, tasks,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := rig.ReplanCold(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := rig.ReplanDelta(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+
 		record("planner/dynamic-drain", procs, tasks, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -175,7 +203,7 @@ func plannerExperiment(path string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nspeedups (probe -> indexed):")
+	fmt.Println("\nspeedups (baseline -> optimized):")
 	for _, s := range rep.Speedups {
 		fmt.Printf("  %-18s procs=%-4d tasks=%-5d %6.1fx\n", s.Name, s.Procs, s.Tasks, s.Speedup)
 	}

@@ -1,0 +1,282 @@
+package bipartite
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomUnitGraph builds a random bipartite graph with unit edge weights.
+func randomUnitGraph(rng *rand.Rand, numP, numF int, density float64) *Graph {
+	g := NewGraph(numP, numF)
+	for p := 0; p < numP; p++ {
+		for f := 0; f < numF; f++ {
+			if rng.Float64() < density {
+				g.AddEdge(p, f, 1)
+			}
+		}
+	}
+	return g
+}
+
+// dropProc rebuilds g without any edge of process p — the matching-level
+// picture of that process's node losing all its replicas.
+func dropProc(g *Graph, drop int) *Graph {
+	out := NewGraph(g.NumP(), g.NumF())
+	for p := 0; p < g.NumP(); p++ {
+		if p == drop {
+			continue
+		}
+		for _, e := range g.EdgesOfP(p) {
+			out.AddEdge(p, e.F, e.Weight)
+		}
+	}
+	return out
+}
+
+func checkMatching(t *testing.T, g *Graph, quota []int, owner []int, size int) {
+	t.Helper()
+	owned := make([]int, g.NumP())
+	got := 0
+	for f, p := range owner {
+		if p == -1 {
+			continue
+		}
+		if g.Weight(p, f) == 0 {
+			t.Fatalf("file %d matched to process %d without an edge", f, p)
+		}
+		owned[p]++
+		got++
+	}
+	for p, n := range owned {
+		if n > quota[p] {
+			t.Fatalf("process %d owns %d files, quota %d", p, n, quota[p])
+		}
+	}
+	if got != size {
+		t.Fatalf("owner array carries %d matches, size reports %d", got, size)
+	}
+}
+
+// TestWarmMatchingSeededIdentity: seeding Kuhn with a maximum matching that
+// is still fully legal leaves nothing to augment, so the warm output is the
+// seed byte for byte. This is the invariant the planner's clean warm path
+// relies on.
+func TestWarmMatchingSeededIdentity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numP := 1 + rng.Intn(6)
+		numF := 1 + rng.Intn(12)
+		g := randomUnitGraph(rng, numP, numF, 0.4)
+		quota := make([]int, numP)
+		for p := range quota {
+			quota[p] = 1 + rng.Intn(3)
+		}
+		cold, coldSize := MatchAugmenting(g, quota)
+		warm, warmSize, err := MatchAugmentingWarmContext(context.Background(), g, quota, cold)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if warmSize != coldSize {
+			t.Errorf("seed %d: warm size %d, cold %d", seed, warmSize, coldSize)
+			return false
+		}
+		for f := range cold {
+			if warm[f] != cold[f] {
+				t.Errorf("seed %d: file %d warm owner %d, cold %d", seed, f, warm[f], cold[f])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmMatchingAfterMutation: a stale seed (computed before a process
+// lost all its edges) still yields a maximum matching of the mutated graph,
+// structurally valid and size-equal to a cold solve.
+func TestWarmMatchingAfterMutation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numP := 2 + rng.Intn(5)
+		numF := 2 + rng.Intn(12)
+		g := randomUnitGraph(rng, numP, numF, 0.5)
+		quota := make([]int, numP)
+		for p := range quota {
+			quota[p] = 1 + rng.Intn(3)
+		}
+		stale, _ := MatchAugmenting(g, quota)
+		mutated := dropProc(g, rng.Intn(numP))
+		_, coldSize, err := MatchAugmentingContext(context.Background(), mutated, quota)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		warm, warmSize, err := MatchAugmentingWarmContext(context.Background(), mutated, quota, stale)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if warmSize != coldSize {
+			t.Errorf("seed %d: warm size %d != cold size %d on mutated graph", seed, warmSize, coldSize)
+			return false
+		}
+		checkMatching(t, mutated, quota, warm, warmSize)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmMatchingIgnoresGarbageSeed: out-of-range and edge-less seed
+// entries are dropped, not adopted.
+func TestWarmMatchingIgnoresGarbageSeed(t *testing.T) {
+	g := NewGraph(2, 3)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(1, 1, 1)
+	quota := []int{1, 1}
+	seed := []int{1, 5, -7} // file 0: no (1,0) edge; file 1: p out of range; file 2: negative
+	owner, size, err := MatchAugmentingWarmContext(context.Background(), g, quota, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMatching(t, g, quota, owner, size)
+	if size != 2 || owner[0] != 0 || owner[1] != 1 || owner[2] != -1 {
+		t.Fatalf("owner = %v size = %d, want [0 1 -1] size 2", owner, size)
+	}
+}
+
+// warmFlowFixture builds the equal-size assignment setup of the property
+// tests: numF files of 64 MB, quotas split evenly.
+func warmFlowFixture(rng *rand.Rand) (g *Graph, quotas, sizes []int64) {
+	numP := 2 + rng.Intn(5)
+	numF := numP * (1 + rng.Intn(4))
+	const size = 64
+	g = NewGraph(numP, numF)
+	for f := 0; f < numF; f++ {
+		perm := rng.Perm(numP)
+		r := 1 + rng.Intn(3)
+		if r > numP {
+			r = numP
+		}
+		for _, p := range perm[:r] {
+			g.AddEdge(p, f, size)
+		}
+	}
+	quotas = make([]int64, numP)
+	for p := range quotas {
+		quotas[p] = int64(numF/numP) * size
+	}
+	for p, rem := 0, int64(numF%numP)*size; rem > 0; p = (p + 1) % numP {
+		quotas[p] += size
+		rem -= size
+	}
+	sizes = make([]int64, numF)
+	for f := range sizes {
+		sizes[f] = size
+	}
+	return g, quotas, sizes
+}
+
+func checkFlowAssignment(t *testing.T, g *Graph, quotas, sizes []int64, res AssignResult) {
+	t.Helper()
+	load := make([]int64, g.NumP())
+	for f, o := range res.Owner {
+		if o == -1 {
+			continue
+		}
+		if g.Weight(o, f) == 0 {
+			t.Fatalf("file %d assigned to non-co-located process %d", f, o)
+		}
+		load[o] += sizes[f]
+	}
+	for p := range load {
+		if load[p] > quotas[p] {
+			t.Fatalf("process %d over quota: %d > %d", p, load[p], quotas[p])
+		}
+		if load[p] != res.AssignedMB[p] {
+			t.Fatalf("process %d AssignedMB %d, owner-derived load %d", p, res.AssignedMB[p], load[p])
+		}
+	}
+}
+
+// TestWarmFlowValueParity: for both solvers, a warm-started solve seeded
+// with a prior assignment — fresh or stale — reaches exactly the cold
+// maximum-flow value (max flow is unique in value) and decodes to a
+// structurally valid assignment.
+func TestWarmFlowValueParity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, quotas, sizes := warmFlowFixture(rng)
+		for _, algo := range []Algorithm{EdmondsKarp, Dinic} {
+			cold := AssignMaxLocality(g, quotas, sizes, algo)
+
+			// Fresh seed on the unchanged graph.
+			warm, err := AssignMaxLocalityWarmContext(context.Background(), g, quotas, sizes, algo, cold.Owner)
+			if err != nil {
+				t.Error(err)
+				return false
+			}
+			if warm.LocalMB != cold.LocalMB {
+				t.Errorf("seed %d %v: warm value %d, cold %d", seed, algo, warm.LocalMB, cold.LocalMB)
+				return false
+			}
+			checkFlowAssignment(t, g, quotas, sizes, warm)
+
+			// Stale seed after a process loses its edges.
+			mutated := dropProc(g, rng.Intn(g.NumP()))
+			coldM := AssignMaxLocality(mutated, quotas, sizes, algo)
+			warmM, err := AssignMaxLocalityWarmContext(context.Background(), mutated, quotas, sizes, algo, cold.Owner)
+			if err != nil {
+				t.Error(err)
+				return false
+			}
+			if warmM.LocalMB != coldM.LocalMB {
+				t.Errorf("seed %d %v: stale-seeded value %d, cold %d", seed, algo, warmM.LocalMB, coldM.LocalMB)
+				return false
+			}
+			checkFlowAssignment(t, mutated, quotas, sizes, warmM)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPush pins the seeding primitive's semantics and its guard rails.
+func TestPush(t *testing.T) {
+	fn := NewFlowNetwork(3)
+	id := fn.AddArc(0, 1, 10)
+	fn.Push(id, 4)
+	if got := fn.Flow(id); got != 4 {
+		t.Fatalf("Flow = %d after Push(4), want 4", got)
+	}
+	if got := fn.Residual(id); got != 6 {
+		t.Fatalf("Residual = %d after Push(4), want 6", got)
+	}
+	// Pushed flow must survive a solve as part of the total accounting:
+	// the only s->t path is saturated by topping up the remaining 6.
+	fn.AddArc(1, 2, 10)
+	if got := fn.MaxFlowEK(0, 2); got != 6 {
+		t.Fatalf("MaxFlowEK after partial push = %d, want 6 (4 already routed)", got)
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("over-push", func() { fn.Push(id, 7) })
+	mustPanic("negative push", func() { fn.Push(id, -1) })
+	mustPanic("residual arc id", func() { fn.Push(id^1, 1) })
+}

@@ -10,9 +10,13 @@ import (
 // function of (process placement, task inputs, replica placement, strategy
 // + its parameters): the encoding captures the problem side of that tuple
 // exactly — the proc→node map, every task's inputs with chunk identity and
-// size, and each referenced chunk's replica list — plus the file system's
-// placement epoch, so any placement mutation anywhere in the FS (not just
-// on the referenced chunks) invalidates fingerprints derived from it.
+// size, and each referenced chunk's replica list stamped with that chunk's
+// own placement epoch (dfs.Chunk.Epoch). Only the chunks the problem
+// actually reads contribute, so a placement mutation on an unrelated file
+// leaves the fingerprint — and any cached plan keyed by it — untouched,
+// while any mutation of a referenced chunk's replica set changes it.
+// File names never enter the encoding: a Rename leaves fingerprints stable,
+// which is correct because plans depend only on placement, not on names.
 //
 // The encoding is deliberately not a serialization format: there is no
 // decoder, and the only contract is that equal problems encode equally and
@@ -30,7 +34,6 @@ func (p *Problem) AppendCanonical(b []byte) []byte {
 		binary.LittleEndian.PutUint64(u[:], v)
 		b = append(b, u[:]...)
 	}
-	put(p.FS.Epoch())
 	put(uint64(len(p.ProcNode)))
 	for _, n := range p.ProcNode {
 		put(uint64(n))
@@ -43,6 +46,7 @@ func (p *Problem) AppendCanonical(b []byte) []byte {
 			put(uint64(in.Chunk))
 			put(math.Float64bits(in.SizeMB))
 			c := p.FS.Chunk(in.Chunk)
+			put(c.Epoch())
 			put(math.Float64bits(c.SizeMB))
 			put(uint64(len(c.Replicas)))
 			for _, r := range c.Replicas {

@@ -41,8 +41,9 @@ func TestCanonicalAppends(t *testing.T) {
 }
 
 // TestCanonicalSensitivity: every ingredient of a plan perturbs the
-// encoding — replica moves, epoch-only mutations elsewhere in the FS,
-// process placement, task shape.
+// encoding — replica moves on referenced chunks, process placement, task
+// shape — while mutations that cannot affect the plan (placement changes on
+// files the problem does not read) leave it byte-stable.
 func TestCanonicalSensitivity(t *testing.T) {
 	build := func() (*Problem, *dfs.FileSystem) {
 		return buildSingle(t, 8, 16, 73, dfs.RandomPlacement{})
@@ -67,15 +68,36 @@ func TestCanonicalSensitivity(t *testing.T) {
 		t.Fatal("MoveReplica did not change the canonical encoding")
 	}
 
-	// A placement mutation NOT touching any referenced chunk still changes
-	// the encoding, via the epoch: conservative, but exactly the
-	// invalidation contract.
+	// A placement mutation NOT touching any referenced chunk leaves the
+	// encoding byte-stable: fingerprints embed per-chunk epochs, not the
+	// global counter, so unrelated churn keeps cached plans hot.
 	p, fs = build()
 	if _, err := fs.Create("/unrelated", 64); err != nil {
 		t.Fatal(err)
 	}
+	if !bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
+		t.Fatal("mutation of an unrelated file changed the canonical encoding")
+	}
+	// But a subsequent mutation that DOES touch a referenced chunk is still
+	// detected, even when the replica list round-trips back to its original
+	// value: the chunk epoch records that it moved.
+	c2 := fs.Chunk(p.Tasks[0].Inputs[0].Chunk)
+	origReplicas := append([]int(nil), c2.Replicas...)
+	dst2 := -1
+	for n := 0; n < 8; n++ {
+		if !c2.HostedOn(n) {
+			dst2 = n
+			break
+		}
+	}
+	if err := fs.MoveReplica(c2.ID, origReplicas[0], dst2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MoveReplica(c2.ID, dst2, origReplicas[0]); err != nil {
+		t.Fatal(err)
+	}
 	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
-		t.Fatal("epoch bump did not change the canonical encoding")
+		t.Fatal("replica move-and-return on a referenced chunk left the encoding unchanged")
 	}
 
 	// Process placement matters.
@@ -98,4 +120,56 @@ func TestCanonicalSensitivity(t *testing.T) {
 	if bytes.Equal(baseEnc, p.AppendCanonical(nil)) {
 		t.Fatal("task removal did not change the canonical encoding")
 	}
+}
+
+// TestCanonicalRenameIndependent: Rename is namespace-only, so the
+// fingerprint of a problem over the renamed file is byte-identical to the
+// one computed before — a cache hit after a rename is correct, not stale.
+// The planner's output must be name-independent too, or the stable
+// fingerprint would serve a wrong plan.
+func TestCanonicalRenameIndependent(t *testing.T) {
+	p, fs := buildSingle(t, 8, 24, 74, dfs.RandomPlacement{})
+	before := p.AppendCanonical(nil)
+	planBefore, err := SingleData{Seed: 7}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/data", "/data-renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, p.AppendCanonical(nil)) {
+		t.Fatal("rename changed the canonical encoding: a file name leaks into the fingerprint")
+	}
+	planAfter, err := SingleData{Seed: 7}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slicesEqualInt(planBefore.Owner, planAfter.Owner) {
+		t.Fatal("rename changed the planner's assignment: a file name leaks into planning state")
+	}
+	// Rebuilding the problem from the new name yields the same encoding as
+	// well: block locations are keyed by chunk IDs, not names.
+	procNode := make([]int, 8)
+	for i := range procNode {
+		procNode[i] = i
+	}
+	p2, err := SingleDataProblem(fs, []string{"/data-renamed"}, procNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, p2.AppendCanonical(nil)) {
+		t.Fatal("problem rebuilt from the renamed file encodes differently")
+	}
+}
+
+func slicesEqualInt(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

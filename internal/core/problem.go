@@ -138,6 +138,13 @@ type Assignment struct {
 	// assignment; PlannedTotalMB is the total input data.
 	PlannedLocalMB float64
 	PlannedTotalMB float64
+	// Matched, when non-nil, records which owners came out of the locality
+	// solver (flow network or matching) as opposed to the random repair step
+	// for unmatched tasks. Warm-started replans seed the solver only from
+	// matched entries: a repair-assigned owner reflects a coin flip, not a
+	// locality decision, and seeding it could displace genuine matches.
+	// Planners that have no solver/repair split leave it nil.
+	Matched []bool
 }
 
 // LocalityFraction is the planned fraction of data readable locally.

@@ -41,6 +41,12 @@ func (s SingleData) Assign(p *Problem) (*Assignment, error) {
 // AssignContext implements ContextAssigner: the locality-index fan-out and
 // the max-flow augmenting loop poll ctx and abort with its error.
 func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment, error) {
+	return s.assign(ctx, p, nil)
+}
+
+// assign is the shared planner body; a non-nil seed warm-starts the solver
+// from a prior assignment's solver-matched owners (see AssignWarmContext).
+func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,7 +103,7 @@ func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 		for i, q := range quotasMB {
 			quotaTasks[i] = int(q / sizes[0])
 		}
-		owner, _, err = bipartite.MatchAugmentingContext(ctx, g, quotaTasks)
+		owner, _, err = bipartite.MatchAugmentingWarmContext(ctx, g, quotaTasks, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +112,7 @@ func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 		if algo == bipartite.Kuhn {
 			algo = bipartite.EdmondsKarp // unequal sizes: matching does not apply
 		}
-		res, err := bipartite.AssignMaxLocalityContext(ctx, g, quotasMB, sizes, algo)
+		res, err := bipartite.AssignMaxLocalityWarmContext(ctx, g, quotasMB, sizes, algo, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -115,6 +121,10 @@ func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	matched := make([]bool, n)
+	for t, o := range owner {
+		matched[t] = o >= 0
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	if s.Weights == nil {
 		repairUnmatched(p, owner, rng)
@@ -122,7 +132,7 @@ func (s SingleData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 		repairUnmatchedWeighted(p, owner, quotasMB, rng)
 	}
 
-	a := &Assignment{Owner: owner, Lists: buildLists(p, owner)}
+	a := &Assignment{Owner: owner, Lists: buildLists(p, owner), Matched: matched}
 	sortEachList(a.Lists)
 	fillLocality(p, a)
 	return a, nil

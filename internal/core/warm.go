@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+
+	"opass/internal/dfs"
+)
+
+// This file implements incremental ("warm-started") planning for the
+// single-data planner. A plan computed at time T can be reused or cheaply
+// repaired at time T' as long as the caller can tell which of the problem's
+// chunks moved in between; per-chunk placement epochs (dfs.Chunk.Epoch)
+// provide exactly that signal without diffing replica lists.
+
+// PlanStamp records the placement epoch of every chunk a problem read at
+// plan time. Capture it with StampProblem next to the plan itself; later,
+// DirtyTasks compares the live epochs against the stamp to find the tasks
+// whose inputs moved.
+type PlanStamp struct {
+	epochs map[dfs.ChunkID]uint64
+}
+
+// StampProblem captures the current placement epochs of p's read set.
+func StampProblem(p *Problem) PlanStamp {
+	st := PlanStamp{epochs: make(map[dfs.ChunkID]uint64)}
+	for i := range p.Tasks {
+		for _, in := range p.Tasks[i].Inputs {
+			if _, ok := st.epochs[in.Chunk]; !ok {
+				st.epochs[in.Chunk] = p.FS.Chunk(in.Chunk).Epoch()
+			}
+		}
+	}
+	return st
+}
+
+// DirtyTasks reports the tasks of p with at least one input chunk whose
+// placement epoch differs from the stamp, in ascending task order. A chunk
+// absent from the stamp (the problem gained inputs, or the stamp is the
+// zero value) counts as dirty — the conservative answer.
+func (st PlanStamp) DirtyTasks(p *Problem) []int {
+	var dirty []int
+	for i := range p.Tasks {
+		if st.Dirty(p, i) {
+			dirty = append(dirty, i)
+		}
+	}
+	return dirty
+}
+
+// Dirty reports whether task t of p has an input whose placement epoch
+// differs from the stamp (or is missing from it).
+func (st PlanStamp) Dirty(p *Problem, t int) bool {
+	for _, in := range p.Tasks[t].Inputs {
+		then, ok := st.epochs[in.Chunk]
+		if !ok || then != p.FS.Chunk(in.Chunk).Epoch() {
+			return true
+		}
+	}
+	return false
+}
+
+// WarmStats describes what a warm-started solve actually did.
+type WarmStats struct {
+	// Reused reports that no read chunk's epoch changed and the prior
+	// assignment was returned as-is, without touching the solver.
+	Reused bool
+	// Seeded reports that the solver ran warm-started from the prior
+	// assignment's solver-matched owners.
+	Seeded bool
+	// DirtyTasks is the number of tasks whose inputs moved since the stamp.
+	DirtyTasks int
+}
+
+// AssignWarmContext is AssignContext warm-started from a prior assignment
+// of the same problem shape and its PlanStamp:
+//
+//   - If no chunk the problem reads has changed placement epoch since the
+//     stamp, the prior assignment is returned unchanged (WarmStats.Reused) —
+//     the planner is deterministic, so a cold re-solve would reproduce it
+//     byte for byte anyway.
+//   - Otherwise the solver is seeded with the prior solver-matched owners
+//     and only repairs the seats the placement change broke; the random
+//     repair step re-runs from the planner's fixed seed exactly as in a
+//     cold solve, so the result is a valid maximum-locality assignment with
+//     the same matched-task count (Kuhn) / local-MB flow value (max flow)
+//     as a cold solve of the mutated problem.
+//
+// A prior from a different planner (nil Matched), a different task count,
+// or a nil prior falls back to a plain cold solve with zero WarmStats.
+// Callers must pass a problem whose task list is unchanged since the stamp
+// was taken; only placement may differ.
+func (s SingleData) AssignWarmContext(ctx context.Context, p *Problem, prior *Assignment, stamp PlanStamp) (*Assignment, WarmStats, error) {
+	if prior == nil || prior.Matched == nil || len(prior.Owner) != len(p.Tasks) {
+		a, err := s.assign(ctx, p, nil)
+		return a, WarmStats{}, err
+	}
+	dirty := stamp.DirtyTasks(p)
+	if len(dirty) == 0 {
+		return prior, WarmStats{Reused: true}, nil
+	}
+	seed := make([]int, len(prior.Owner))
+	for t := range seed {
+		seed[t] = -1
+		if prior.Matched[t] {
+			seed[t] = prior.Owner[t]
+		}
+	}
+	a, err := s.assign(ctx, p, seed)
+	if err != nil {
+		return nil, WarmStats{}, err
+	}
+	return a, WarmStats{Seeded: true, DirtyTasks: len(dirty)}, nil
+}

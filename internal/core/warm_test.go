@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"opass/internal/bipartite"
+	"opass/internal/dfs"
+)
+
+func sameOwners(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d owners, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: owner[%d] = %d, want %d (first mismatch)", name, i, got[i], want[i])
+		}
+	}
+}
+
+func matchedCount(a *Assignment) int {
+	n := 0
+	for _, m := range a.Matched {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// TestStampDirtyTasks pins the dirty-set derivation: per-chunk epochs mark
+// exactly the tasks whose inputs moved, and the zero-value stamp is
+// conservatively all-dirty.
+func TestStampDirtyTasks(t *testing.T) {
+	p, fs := buildSingle(t, 8, 24, 3, dfs.RandomPlacement{})
+	st := StampProblem(p)
+	if dirty := st.DirtyTasks(p); len(dirty) != 0 {
+		t.Fatalf("dirty tasks with no mutation: %v", dirty)
+	}
+
+	// Move one replica of task 5's chunk: exactly task 5 dirties (the
+	// single-data problem reads each chunk from exactly one task).
+	target := p.Tasks[5].Inputs[0].Chunk
+	c := fs.Chunk(target)
+	var dst int
+	for _, n := range fs.LiveNodes() {
+		if !c.HostedOn(n) {
+			dst = n
+			break
+		}
+	}
+	if err := fs.MoveReplica(target, c.Replicas[0], dst); err != nil {
+		t.Fatal(err)
+	}
+	if dirty := st.DirtyTasks(p); len(dirty) != 1 || dirty[0] != 5 {
+		t.Fatalf("dirty tasks after moving task 5's chunk: %v, want [5]", dirty)
+	}
+
+	if dirty := (PlanStamp{}).DirtyTasks(p); len(dirty) != len(p.Tasks) {
+		t.Fatalf("zero-value stamp marked %d of %d tasks dirty, want all", len(dirty), len(p.Tasks))
+	}
+}
+
+// TestWarmCleanReuseGolden: on the unchanged golden fixtures the warm path
+// returns the prior plan itself — byte-identical to the cold solve the
+// golden file pins, for every algorithm.
+func TestWarmCleanReuseGolden(t *testing.T) {
+	sp := goldenSingleProblem(t)
+	for _, algo := range []bipartite.Algorithm{bipartite.EdmondsKarp, bipartite.Dinic, bipartite.Kuhn} {
+		s := SingleData{Algorithm: algo, Seed: 7}
+		cold, err := s.AssignContext(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := StampProblem(sp)
+		warm, stats, err := s.AssignWarmContext(context.Background(), sp, cold, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Reused || stats.Seeded {
+			t.Fatalf("%v: stats = %+v, want clean reuse", algo, stats)
+		}
+		if warm != cold {
+			t.Fatalf("%v: clean reuse returned a different assignment", algo)
+		}
+		sameOwners(t, algo.String(), warm.Owner, cold.Owner)
+	}
+}
+
+// TestWarmForcedSeedIdentityKuhn: even when the clean-reuse fast path is
+// bypassed and the solver actually runs seeded (as it does after a
+// mutation), an unchanged problem reproduces the cold plan byte for byte:
+// the seeded matching is already maximum, so augmentation finds nothing,
+// and the repair step replays the same seeded RNG over the same unmatched
+// set.
+func TestWarmForcedSeedIdentityKuhn(t *testing.T) {
+	sp := goldenSingleProblem(t)
+	s := SingleData{Algorithm: bipartite.Kuhn, Seed: 7}
+	cold, err := s.AssignContext(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]int, len(cold.Owner))
+	for i := range seed {
+		seed[i] = -1
+		if cold.Matched[i] {
+			seed[i] = cold.Owner[i]
+		}
+	}
+	warm, err := s.assign(context.Background(), sp, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOwners(t, "forced-seed", warm.Owner, cold.Owner)
+	if matchedCount(warm) != matchedCount(cold) {
+		t.Fatalf("matched %d tasks warm, %d cold", matchedCount(warm), matchedCount(cold))
+	}
+}
+
+// TestWarmAfterMutation drives AssignWarmContext through real placement
+// changes: the warm solve must report the dirty set, produce a valid
+// assignment, be deterministic, and (for Kuhn, where the matched count is
+// the unique maximum matching size) match as many tasks as a cold solve of
+// the mutated problem.
+func TestWarmAfterMutation(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(t *testing.T, p *Problem, fs *dfs.FileSystem)
+	}{
+		{
+			name: "replica-move",
+			mutate: func(t *testing.T, p *Problem, fs *dfs.FileSystem) {
+				id := p.Tasks[7].Inputs[0].Chunk
+				c := fs.Chunk(id)
+				for _, n := range fs.LiveNodes() {
+					if !c.HostedOn(n) {
+						if err := fs.MoveReplica(id, c.Replicas[0], n); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+				}
+				t.Fatal("no destination node free of a replica")
+			},
+		},
+		{
+			name: "node-loss",
+			mutate: func(t *testing.T, p *Problem, fs *dfs.FileSystem) {
+				node := fs.Chunk(p.Tasks[0].Inputs[0].Chunk).Replicas[0]
+				if _, _, err := fs.Crash(node); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	algos := []bipartite.Algorithm{bipartite.EdmondsKarp, bipartite.Dinic, bipartite.Kuhn}
+	for _, mut := range mutations {
+		t.Run(mut.name, func(t *testing.T) {
+			for _, algo := range algos {
+				p, fs := buildSingle(t, 16, 160, 11, dfs.RandomPlacement{})
+				s := SingleData{Algorithm: algo, Seed: 7}
+				prior, err := s.AssignContext(context.Background(), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := StampProblem(p)
+				mut.mutate(t, p, fs)
+
+				warm, stats, err := s.AssignWarmContext(context.Background(), p, prior, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !stats.Seeded || stats.Reused {
+					t.Fatalf("%v: stats = %+v, want a seeded solve", algo, stats)
+				}
+				if stats.DirtyTasks == 0 || stats.DirtyTasks == len(p.Tasks) {
+					t.Fatalf("%v: %d of %d tasks dirty; mutation not discriminating", algo, stats.DirtyTasks, len(p.Tasks))
+				}
+				if err := warm.Validate(p); err != nil {
+					t.Fatalf("%v: warm assignment invalid: %v", algo, err)
+				}
+				again, _, err := s.AssignWarmContext(context.Background(), p, prior, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameOwners(t, algo.String()+"/determinism", again.Owner, warm.Owner)
+
+				cold, err := s.AssignContext(context.Background(), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if algo == bipartite.Kuhn && matchedCount(warm) != matchedCount(cold) {
+					t.Fatalf("kuhn: warm matched %d tasks, cold %d (maximum matching size is unique)",
+						matchedCount(warm), matchedCount(cold))
+				}
+			}
+		})
+	}
+}
+
+// TestWarmFallsBackCold: priors the warm path cannot trust — nil, wrong
+// shape, or from a planner with no solver/repair split — downgrade to a
+// plain cold solve, byte-identical to AssignContext.
+func TestWarmFallsBackCold(t *testing.T) {
+	p, _ := buildSingle(t, 8, 40, 5, dfs.RandomPlacement{})
+	s := SingleData{Seed: 3}
+	cold, err := s.AssignContext(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := StampProblem(p)
+	priors := map[string]*Assignment{
+		"nil-prior":   nil,
+		"nil-matched": {Owner: append([]int(nil), cold.Owner...), Lists: cold.Lists},
+		"wrong-shape": {Owner: []int{0, 1}, Matched: []bool{true, true}},
+	}
+	for name, prior := range priors {
+		warm, stats, err := s.AssignWarmContext(context.Background(), p, prior, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Reused || stats.Seeded {
+			t.Fatalf("%s: stats = %+v, want cold fallback", name, stats)
+		}
+		sameOwners(t, name, warm.Owner, cold.Owner)
+	}
+}

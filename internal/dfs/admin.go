@@ -54,7 +54,6 @@ func (fs *FileSystem) Decommission(node int) (moved int, err error) {
 	hosted := append([]ChunkID(nil), fs.perNode[node]...)
 	fs.dead[node] = true
 	delete(fs.perNode, node)
-	fs.bumpEpoch()
 	live := fs.liveNodes()
 	for _, id := range hosted {
 		c := fs.chunks[int(id)]
@@ -79,6 +78,7 @@ func (fs *FileSystem) Decommission(node int) (moved int, err error) {
 		fs.perNode[dst] = append(fs.perNode[dst], id)
 		moved++
 	}
+	fs.bumpEpoch(hosted...)
 	return moved, nil
 }
 
@@ -117,7 +117,7 @@ func (fs *FileSystem) Crash(node int) (underReplicated, lost []ChunkID, err erro
 			underReplicated = append(underReplicated, id)
 		}
 	}
-	fs.bumpEpoch()
+	fs.bumpEpoch(hosted...)
 	return underReplicated, lost, nil
 }
 
@@ -129,6 +129,7 @@ func (fs *FileSystem) Crash(node int) (underReplicated, lost []ChunkID, err erro
 // placement epoch when any replica was created, invalidating cached plans.
 func (fs *FileSystem) ReReplicate() (repaired int) {
 	live := fs.liveNodes()
+	var touched []ChunkID
 	for _, c := range fs.chunks {
 		if c.deleted || len(c.Replicas) == 0 || len(c.Replicas) >= c.target {
 			continue
@@ -147,10 +148,11 @@ func (fs *FileSystem) ReReplicate() (repaired int) {
 		}
 		if added {
 			repaired++
+			touched = append(touched, c.ID)
 		}
 	}
 	if repaired > 0 {
-		fs.bumpEpoch()
+		fs.bumpEpoch(touched...)
 	}
 	return repaired
 }
@@ -172,7 +174,7 @@ func (fs *FileSystem) AddReplica(id ChunkID, node int) error {
 		c.target = len(c.Replicas)
 	}
 	fs.perNode[node] = append(fs.perNode[node], id)
-	fs.bumpEpoch()
+	fs.bumpEpoch(id)
 	return nil
 }
 
@@ -205,7 +207,7 @@ func (fs *FileSystem) RemoveReplica(id ChunkID, node int) error {
 		}
 	}
 	fs.perNode[node] = hosted
-	fs.bumpEpoch()
+	fs.bumpEpoch(id)
 	return nil
 }
 
@@ -421,6 +423,6 @@ func (fs *FileSystem) moveOneReplica(src, dst int) bool {
 	}
 	fs.perNode[src] = hosted
 	fs.perNode[dst] = append(fs.perNode[dst], pick)
-	fs.bumpEpoch()
+	fs.bumpEpoch(pick)
 	return true
 }

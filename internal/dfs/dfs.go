@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 )
 
 // ChunkID identifies a chunk within a FileSystem.
@@ -47,7 +48,19 @@ type Chunk struct {
 	// redundancy after a crash. Set at creation, raised by AddReplica,
 	// lowered by an explicit RemoveReplica (the setrep analogy).
 	target int
+	// epoch is the value of the file system's global placement epoch at the
+	// last mutation that touched THIS chunk's replica set. It is keyed to the
+	// chunk, never to the file name, so Rename leaves it (and every
+	// fingerprint derived from it) untouched.
+	epoch uint64
 }
+
+// Epoch returns the chunk's placement epoch: the global epoch value at the
+// last mutation of this chunk's replica set. Fingerprints built from chunk
+// epochs (core.Problem.AppendCanonical) change exactly when one of the
+// chunks they read moved — a mutation to an unrelated file leaves them
+// stable, which is what makes surgical plan-cache invalidation sound.
+func (c *Chunk) Epoch() uint64 { return c.epoch }
 
 // ReplicationTarget returns the chunk's replication target: how many
 // replicas Crash considers healthy and ReReplicate restores.
@@ -108,7 +121,14 @@ type FileSystem struct {
 	chunks  []*Chunk
 	perNode map[int][]ChunkID // node -> hosted chunks
 	dead    map[int]bool      // decommissioned nodes
-	epoch   uint64            // bumped on every placement mutation
+	// epoch is bumped on every placement mutation. It is atomic because
+	// read-only consumers (plan fingerprinting under an HTTP handler) may
+	// observe it concurrently with an admin mutation on another goroutine.
+	epoch atomic.Uint64
+	// onPlacementChange, if set, is invoked synchronously after every
+	// placement mutation with the chunk IDs whose replica sets changed
+	// (empty for node-membership-only changes such as AddNode).
+	onPlacementChange func(changed []ChunkID)
 	// reserved holds paths leased to open FileWriters (the namenode's write
 	// lease): the namespace entry does not exist yet, but no other writer —
 	// and no namespace operation — may claim the name.
@@ -141,17 +161,40 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // Epoch is a monotonic placement-version counter: every operation that
 // changes which replicas live where — or which nodes may host them — bumps
 // it (writes, deletes, replica add/remove/move, node add/remove, the
-// balancer). Namespace-only operations (Rename) do not. Callers that cache
-// anything derived from placement metadata (block locations, locality
-// graphs, plans) must treat a changed epoch as total invalidation; see
-// internal/plancache.
-func (fs *FileSystem) Epoch() uint64 { return fs.epoch }
+// balancer). Namespace-only operations (Rename) do not. It is retained for
+// compatibility as a coarse "anything changed" signal; callers that want
+// surgical invalidation should consult the per-chunk epochs (Chunk.Epoch)
+// instead, which move only when that chunk's replica set does. It is safe
+// to read concurrently with mutations on other goroutines.
+func (fs *FileSystem) Epoch() uint64 { return fs.epoch.Load() }
 
-// bumpEpoch records one placement mutation. Mutating entry points call it
-// exactly once per successful operation (compound operations such as
-// MoveReplica may bump more than once through their primitives — only
-// monotonicity matters, not the step size).
-func (fs *FileSystem) bumpEpoch() { fs.epoch++ }
+// OnPlacementChange registers fn to be called synchronously after every
+// placement mutation with the IDs of the chunks whose replica sets changed
+// (empty for node-membership-only changes). At most one observer is
+// supported; registering replaces the previous one, and nil unregisters.
+// The plan-cache bridge uses this to invalidate exactly the cached plans
+// that read a mutated chunk. fn runs with the mutation already applied; it
+// must not mutate the file system reentrantly, and it must not retain or
+// mutate the slice beyond the call (it may alias internal state).
+func (fs *FileSystem) OnPlacementChange(fn func(changed []ChunkID)) {
+	fs.onPlacementChange = fn
+}
+
+// bumpEpoch records one placement mutation: the global counter advances,
+// every affected chunk is stamped with the new value, and the placement
+// observer (if any) is notified. Mutating entry points call it exactly once
+// per successful operation (compound operations such as MoveReplica may
+// bump more than once through their primitives — only monotonicity matters,
+// not the step size).
+func (fs *FileSystem) bumpEpoch(affected ...ChunkID) {
+	e := fs.epoch.Add(1)
+	for _, id := range affected {
+		fs.chunks[int(id)].epoch = e
+	}
+	if fs.onPlacementChange != nil {
+		fs.onPlacementChange(affected)
+	}
+}
 
 // Errors returned by namespace operations.
 var (
@@ -241,7 +284,7 @@ func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error
 	}
 	fs.files[name] = f
 	fs.order = append(fs.order, name)
-	fs.bumpEpoch()
+	fs.bumpEpoch(f.Chunks...)
 	return f, nil
 }
 
@@ -297,7 +340,7 @@ func (fs *FileSystem) Delete(name string) error {
 			break
 		}
 	}
-	fs.bumpEpoch()
+	fs.bumpEpoch(f.Chunks...)
 	return nil
 }
 

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"testing"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+// affectedSet computes, independently of the replanner, which pending tasks
+// the event at node could have moved: epoch-dirty inputs, inputs with a
+// replica on the node, or a queue on one of the node's processes.
+func affectedSet(p *core.Problem, pending [][]int, stamp core.PlanStamp, node int) map[int]bool {
+	out := map[int]bool{}
+	for proc, list := range pending {
+		for _, id := range list {
+			if p.ProcNode[proc] == node || stamp.Dirty(p, id) {
+				out[id] = true
+				continue
+			}
+			for _, in := range p.Tasks[id].Inputs {
+				if p.FS.Chunk(in.Chunk).HostedOn(node) {
+					out[id] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestDeltaReplanSplicesOnlyAffectedTasks pins the surgical contract of
+// replanPendingDelta after a permanent crash: unaffected tasks keep their
+// process and dispatch order, affected tasks are re-matched over the
+// survivors, and together they still cover the backlog exactly once.
+func TestDeltaReplanSplicesOnlyAffectedTasks(t *testing.T) {
+	const (
+		nodes  = 16
+		chunks = 160
+		seed   = 7
+		victim = 3
+	)
+	r := buildRig(t, nodes, chunks, seed, dfs.RandomPlacement{})
+	a := opassAssignment(t, r, seed)
+	src := NewListSource(a.Lists)
+	stamp := core.StampProblem(r.prob)
+	before := src.Pending()
+
+	// The event: the victim's DataNode is lost for good and the namenode
+	// drops its replicas (bumping the affected chunks' epochs).
+	if _, _, err := r.fs.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	affected := affectedSet(r.prob, before, stamp, victim)
+	if len(affected) == 0 || len(affected) == chunks {
+		t.Fatalf("fixture not discriminating: %d of %d tasks affected", len(affected), chunks)
+	}
+
+	finished := make([]bool, r.prob.NumProcs())
+	weight := func(node int) float64 { return 1 }
+	spliced, rematched, err := replanPendingDelta(r.prob, src, finished, weight, seed, victim, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spliced {
+		t.Fatal("delta replan spliced nothing")
+	}
+	if rematched != len(affected) {
+		t.Fatalf("re-matched %d tasks, affected set has %d", rematched, len(affected))
+	}
+
+	after := src.Pending()
+	seen := map[int]int{}
+	for proc, list := range after {
+		// Each process's kept prefix must be its old list minus the affected
+		// tasks, in the old order.
+		var keptWant []int
+		for _, id := range before[proc] {
+			if !affected[id] {
+				keptWant = append(keptWant, id)
+			}
+		}
+		for i, id := range keptWant {
+			if i >= len(list) || list[i] != id {
+				t.Fatalf("proc %d: kept backlog disturbed: got %v, want prefix %v", proc, list, keptWant)
+			}
+		}
+		for _, id := range list[len(keptWant):] {
+			if !affected[id] {
+				t.Fatalf("proc %d: unaffected task %d was re-matched", proc, id)
+			}
+		}
+		for _, id := range list {
+			seen[id]++
+		}
+	}
+	if len(seen) != chunks {
+		t.Fatalf("backlog covers %d tasks after splice, want %d", len(seen), chunks)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d appears %d times after splice", id, n)
+		}
+	}
+}
+
+// TestDeltaReplanNoAffectedTasksIsANoOp: an event on a node that hosts no
+// replicas of the backlog and runs no process leaves the source untouched.
+func TestDeltaReplanNoAffectedTasksIsANoOp(t *testing.T) {
+	r := buildRig(t, 8, 40, 3, dfs.RandomPlacement{})
+	// Processes only on nodes 0..3, and node 7 is drained of every replica
+	// before the stamp is taken: an event there can affect nothing.
+	r.prob.ProcNode = []int{0, 1, 2, 3}
+	const spare = 7
+	for _, id := range r.fs.HostedBy(spare) {
+		c := r.fs.Chunk(id)
+		moved := false
+		for _, n := range r.fs.LiveNodes() {
+			if n != spare && !c.HostedOn(n) {
+				if err := r.fs.MoveReplica(id, spare, n); err != nil {
+					t.Fatal(err)
+				}
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.Fatalf("no destination free of chunk %d", id)
+		}
+	}
+	a := opassAssignment(t, r, 3)
+	src := NewListSource(a.Lists)
+	stamp := core.StampProblem(r.prob)
+	before := src.Pending()
+	spliced, rematched, err := replanPendingDelta(r.prob, src, make([]bool, 4), func(int) float64 { return 1 }, 3, spare, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spliced || rematched != 0 {
+		t.Fatalf("no-op event spliced=%v rematched=%d", spliced, rematched)
+	}
+	after := src.Pending()
+	for proc := range before {
+		if len(before[proc]) != len(after[proc]) {
+			t.Fatalf("proc %d backlog changed on a no-op event", proc)
+		}
+		for i := range before[proc] {
+			if before[proc][i] != after[proc][i] {
+				t.Fatalf("proc %d backlog changed on a no-op event", proc)
+			}
+		}
+	}
+}
+
+// TestDeltaReplanEndToEnd: a full engine run under the default (delta)
+// replanning completes every task, counts the re-matched tasks, and stays
+// strictly surgical — while ReplanFull reproduces the old whole-backlog
+// behavior with a zero delta counter.
+func TestDeltaReplanEndToEnd(t *testing.T) {
+	const (
+		nodes  = 16
+		chunks = 128
+		seed   = 7
+	)
+	run := func(full bool) *Result {
+		r := buildRig(t, nodes, chunks, seed, dfs.RandomPlacement{})
+		a := opassAssignment(t, r, seed)
+		opts := r.opts("opass")
+		opts.Failures = []NodeFailure{{Node: 1, At: 1.0}}
+		opts.Replan = true
+		opts.ReplanFull = full
+		opts.Repair = true
+		opts.RepairDelay = 2.0
+		opts.ReplanSeed = seed
+		res, err := RunAssignment(opts, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TasksRun != chunks {
+			t.Fatalf("tasks run = %d, want %d", res.TasksRun, chunks)
+		}
+		if res.Replans == 0 {
+			t.Fatal("run never replanned")
+		}
+		return res
+	}
+	delta := run(false)
+	full := run(true)
+	if delta.DeltaReplannedTasks == 0 {
+		t.Fatal("delta run re-matched no tasks")
+	}
+	if delta.DeltaReplannedTasks >= chunks {
+		t.Fatalf("delta run re-matched %d tasks across replans, want fewer than the %d-task job", delta.DeltaReplannedTasks, chunks)
+	}
+	if full.DeltaReplannedTasks != 0 {
+		t.Fatalf("full replan counted %d delta-replanned tasks, want 0", full.DeltaReplannedTasks)
+	}
+}

@@ -141,6 +141,13 @@ type Options struct {
 	// the §IV-D "load capacity" skew — so survivors absorb the backlog
 	// locally.
 	Replan bool
+	// ReplanFull forces every replan to re-match the entire backlog, the
+	// pre-incremental behavior. By default a replan triggered by a node
+	// event re-matches only the affected pending tasks — those whose input
+	// chunks changed placement epoch, have a replica on the event node, or
+	// are queued on that node's processes (see replanPendingDelta) — which
+	// is the O(delta) path the incremental plannerbench series measures.
+	ReplanFull bool
 	// ReplanSeed seeds the re-matching (each replan round perturbs it).
 	ReplanSeed int64
 	// Strategy labels the run in reports.
@@ -237,6 +244,10 @@ type Result struct {
 	// Replans counts matcher re-runs that actually spliced a new backlog
 	// into the source.
 	Replans int
+	// DeltaReplannedTasks counts the pending tasks re-matched by O(delta)
+	// replans. Full re-matches (Options.ReplanFull) leave it untouched, so
+	// the ratio to the backlog size measures how surgical replanning was.
+	DeltaReplannedTasks int
 	// RepairedChunks counts chunks re-replication brought back toward the
 	// configured replication factor.
 	RepairedChunks int
@@ -397,17 +408,39 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 		return 1
 	}
 	replannable, canReplan := src.(ReplannableSource)
-	maybeReplan := func() {
+	// stamp snapshots the placement epochs of the problem's read set at run
+	// start and after every splice: the delta replanner diffs live epochs
+	// against it to find the tasks a placement event actually moved.
+	var stamp core.PlanStamp
+	if opts.Replan && canReplan {
+		stamp = core.StampProblem(p)
+	}
+	maybeReplan := func(eventNode int) {
 		if !opts.Replan || !canReplan {
 			return
 		}
-		spliced, err := replanPending(p, replannable, finished, nodeWeight, opts.ReplanSeed+int64(res.Replans))
+		seed := opts.ReplanSeed + int64(res.Replans)
+		var (
+			spliced   bool
+			rematched int
+			err       error
+		)
+		if opts.ReplanFull || eventNode < 0 {
+			spliced, err = replanPending(p, replannable, finished, nodeWeight, seed)
+		} else {
+			spliced, rematched, err = replanPendingDelta(p, replannable, finished, nodeWeight, seed, eventNode, stamp)
+		}
 		if err != nil {
 			panic(abortRun{err})
 		}
 		if spliced {
 			res.Replans++
+			res.DeltaReplannedTasks += rematched
 		}
+		// Refresh even without a splice: every epoch change up to this event
+		// either re-matched a pending task just now or concerns a task that
+		// is no longer pending, so older deltas need not be re-examined.
+		stamp = core.StampProblem(p)
 	}
 
 	startInput = func(proc int) {
@@ -588,7 +621,7 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 				res.Retries++
 				startInput(victim.proc) // re-picks avoiding failed nodes
 			}
-			maybeReplan()
+			maybeReplan(pd.node)
 		case kindRecovery:
 			// The DataNode process restarted; its replicas serve again. The
 			// per-read replica pick re-captures locality on its own, and a
@@ -596,25 +629,25 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 			auxTimers--
 			delete(failed, pd.node)
 			res.RecoveredNodes = append(res.RecoveredNodes, pd.node)
-			maybeReplan()
+			maybeReplan(pd.node)
 		case kindRepair:
 			// The namenode's replication monitor caught up: under-replicated
 			// chunks regain copies on live nodes, changing the placement
 			// truth — exactly when a replan can win back locality.
 			auxTimers--
 			res.RepairedChunks += opts.FS.ReReplicate()
-			maybeReplan()
+			maybeReplan(pd.node)
 		case kindDegrade:
 			auxTimers--
 			d := opts.Degradations[pd.idx]
 			degraded[d.Node] = d.DiskFactor
 			opts.Topo.DegradeNode(d.Node, d.DiskFactor, d.NICFactor)
-			maybeReplan()
+			maybeReplan(d.Node)
 		case kindRestore:
 			auxTimers--
 			delete(degraded, pd.node)
 			opts.Topo.DegradeNode(pd.node, 1, 1)
-			maybeReplan()
+			maybeReplan(pd.node)
 		}
 		// A completion may free up a task a waiting process was hoping for
 		// (or leave the cluster stalled, forcing the source's hand).

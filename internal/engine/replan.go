@@ -138,3 +138,200 @@ func replanPending(p *core.Problem, src ReplannableSource, finished []bool, weig
 	src.Splice(lists)
 	return true, nil
 }
+
+// replanPendingDelta is the O(delta) variant of replanPending: instead of
+// re-matching the whole backlog it re-matches only the pending tasks the
+// placement event could have moved, and leaves everything else queued where
+// it was. A pending task is affected when
+//
+//   - an input chunk's placement epoch changed since stamp (a permanent
+//     crash dropped its replica from the namenode, repair re-created one,
+//     the balancer moved one), or
+//   - an input chunk currently has a replica on eventNode (a transient
+//     outage or degradation changed how attractive that copy is without
+//     touching metadata), or
+//   - the task is queued on a process hosted on eventNode (the process's
+//     load capacity changed, so its backlog share must be revisited), or
+//   - the task is displaced: it sits at the tail of a queue holding more
+//     than its process's §IV-D share of the backlog (accumulated progress
+//     imbalance a full re-match would have leveled as a side effect).
+//
+// Affected tasks are re-matched against the live processes with
+// slack-weighted quotas: each process's share of the re-matched data is
+// what its §IV-D load-capacity share of the TOTAL backlog says it deserves,
+// minus the data it already keeps — so survivors that kept a full queue
+// absorb little, drained processes absorb much, and the spliced result
+// lands close to the full re-match's balance at a fraction of the cost.
+// The re-matched tasks are appended after each process's kept backlog.
+//
+// It reports whether a splice happened and how many tasks were re-matched.
+func replanPendingDelta(p *core.Problem, src ReplannableSource, finished []bool, weight func(node int) float64, seed int64, eventNode int, stamp core.PlanStamp) (bool, int, error) {
+	pendingLists := src.Pending()
+	if len(pendingLists) != len(finished) {
+		return false, 0, fmt.Errorf("engine: replan: source reports %d processes, problem has %d", len(pendingLists), len(finished))
+	}
+	affected := func(id, proc int) bool {
+		if p.ProcNode[proc] == eventNode {
+			return true
+		}
+		if stamp.Dirty(p, id) {
+			return true
+		}
+		for _, in := range p.Tasks[id].Inputs {
+			if p.FS.Chunk(in.Chunk).HostedOn(eventNode) {
+				return true
+			}
+		}
+		// Displaced: the task cannot be read locally where it is queued —
+		// the prior matching left it stranded remote (quota pressure, or an
+		// earlier fault took its co-located copy). Any event frees or
+		// shifts quota, so give the matcher another chance at a local home;
+		// a full re-match would retry these as a side effect.
+		return p.CoLocatedMB(proc, id) == 0
+	}
+
+	kept := make([][]int, len(pendingLists))
+	keptMB := make([]float64, len(pendingLists))
+	var taskIDs []int
+	var totalMB float64
+	for proc, list := range pendingLists {
+		for _, id := range list {
+			totalMB += p.Tasks[id].SizeMB()
+			if affected(id, proc) {
+				taskIDs = append(taskIDs, id)
+			} else {
+				kept[proc] = append(kept[proc], id)
+				keptMB[proc] += p.Tasks[id].SizeMB()
+			}
+		}
+	}
+	if len(taskIDs) == 0 {
+		return false, 0, nil
+	}
+	var alive []int
+	for proc := range pendingLists {
+		if !finished[proc] {
+			alive = append(alive, proc)
+		}
+	}
+	if len(alive) == 0 {
+		return false, 0, nil
+	}
+
+	raw := make([]float64, len(alive))
+	var rawSum float64
+	for i, proc := range alive {
+		raw[i] = weight(p.ProcNode[proc])
+		rawSum += raw[i]
+	}
+
+	// Displaced tasks: a fault event is also the moment accumulated
+	// progress imbalance surfaces — processes that fell behind hold
+	// backlogs well past their §IV-D share while early finishers sit near
+	// empty, and a full re-match would have leveled that as a side effect.
+	// Shed from the tail of each kept queue any load beyond the process's
+	// share of the whole backlog (keeping a one-task tolerance so balanced
+	// queues shed nothing) and let the re-match redistribute it together
+	// with the event-affected tasks.
+	if rawSum > 0 {
+		for i, proc := range alive {
+			share := raw[i] / rawSum * totalMB
+			for n := len(kept[proc]); n > 0; n-- {
+				id := kept[proc][n-1]
+				sz := p.Tasks[id].SizeMB()
+				if keptMB[proc]-share <= sz {
+					break
+				}
+				kept[proc] = kept[proc][:n-1]
+				keptMB[proc] -= sz
+				taskIDs = append(taskIDs, id)
+			}
+		}
+	}
+	sort.Ints(taskIDs)
+
+	sub := &core.Problem{
+		FS:       p.FS,
+		ProcNode: make([]int, len(alive)),
+		Tasks:    make([]core.Task, len(taskIDs)),
+	}
+	multi := false
+	for i, id := range taskIDs {
+		sub.Tasks[i] = core.Task{ID: i, Inputs: p.Tasks[id].Inputs}
+		if len(p.Tasks[id].Inputs) > 1 {
+			multi = true
+		}
+	}
+
+	// Slack quotas: desired share of the whole backlog minus the data each
+	// process keeps. Degenerate slacks (every process already at or over its
+	// share — possible when the affected set is tiny) fall back to the raw
+	// load-capacity weights of replanPending.
+	for i, proc := range alive {
+		sub.ProcNode[i] = p.ProcNode[proc]
+	}
+	slack := make([]float64, len(alive))
+	var slackSum float64
+	uniform := true
+	if rawSum > 0 {
+		for i, proc := range alive {
+			slack[i] = raw[i]/rawSum*totalMB - keptMB[proc]
+			if slack[i] < 0 {
+				slack[i] = 0
+			}
+			slackSum += slack[i]
+		}
+	}
+	for i := range raw {
+		if raw[i] != raw[0] {
+			uniform = false
+		}
+	}
+
+	var (
+		a   *core.Assignment
+		err error
+	)
+	if multi {
+		a, err = core.MultiData{Seed: seed}.Assign(sub)
+	} else {
+		sd := core.SingleData{Seed: seed}
+		switch {
+		case slackSum > 0:
+			sd.Weights = slack
+		case !uniform && rawSum > 0:
+			sd.Weights = raw
+		}
+		a, err = sd.Assign(sub)
+	}
+	if err != nil {
+		return false, 0, fmt.Errorf("engine: replan: %w", err)
+	}
+
+	lists := kept
+	for i, proc := range alive {
+		for _, st := range a.Lists[i] {
+			lists[proc] = append(lists[proc], taskIDs[st])
+		}
+	}
+	src.Splice(lists)
+	return true, len(taskIDs), nil
+}
+
+// ReplanBacklog re-matches src's entire backlog against the current
+// placement in p.FS — the whole-backlog replan the engine uses when no
+// event attribution is available. Exported for embedders driving their own
+// event loops and for the plannerbench replan series; RunContext calls the
+// same code through its fault hooks.
+func ReplanBacklog(p *core.Problem, src ReplannableSource, finished []bool, weight func(node int) float64, seed int64) (bool, error) {
+	return replanPending(p, src, finished, weight, seed)
+}
+
+// ReplanBacklogDelta is the O(delta) counterpart of ReplanBacklog: it
+// re-matches only the pending tasks the placement event at eventNode could
+// have moved (epoch-dirty since stamp, a replica on eventNode, or queued on
+// one of its processes) and reports how many tasks that was. stamp must
+// have been captured by core.StampProblem before the event mutated p.FS.
+func ReplanBacklogDelta(p *core.Problem, src ReplannableSource, finished []bool, weight func(node int) float64, seed int64, eventNode int, stamp core.PlanStamp) (spliced bool, rematched int, err error) {
+	return replanPendingDelta(p, src, finished, weight, seed, eventNode, stamp)
+}

@@ -15,6 +15,9 @@ func TestChaosSweepHoldsInvariants(t *testing.T) {
 		t.Fatalf("sweep produced %d runs, want %d", len(r.Runs), wantRuns)
 	}
 	for _, run := range r.Runs {
+		if run.Delta.Makespan <= 0 {
+			t.Errorf("%s seed %d: delta run missing from the sweep", run.Scenario, run.Seed)
+		}
 		if run.Scenario != "degraded-disk" && run.Retries == 0 && run.Scenario != "crash-late" {
 			// Early crashes interrupt in-flight reads with high
 			// probability; a zero here would mean the injection never bit.

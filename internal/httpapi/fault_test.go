@@ -159,3 +159,41 @@ func TestPlanIgnoresFaultModel(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateDeltaReplanMetric: replanning after a crash runs the
+// incremental path by default, and the tasks it re-matches surface on the
+// delta counter — strictly fewer than the whole job, proving the replan
+// was surgical rather than a full backlog re-match.
+func TestSimulateDeltaReplanMetric(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(NewHandler(ServerOptions{Registry: reg}))
+	defer srv.Close()
+
+	req := faultRequest("opass")
+	req.Failures = []FailureSpec{{Node: 1, AtSeconds: 0.5}}
+	req.Replan = true
+	resp, body := post(t, srv, "/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out SimulateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary.Replans == 0 {
+		t.Fatal("summary reports no replans despite replan=true and a crash")
+	}
+	delta := metricValue(t, reg, MetricEngineDeltaReplanned)
+	if delta <= 0 {
+		t.Fatalf("%s = %v, want > 0", MetricEngineDeltaReplanned, delta)
+	}
+	if delta >= float64(len(req.Tasks)) {
+		t.Fatalf("%s = %v, want fewer than the %d-task job", MetricEngineDeltaReplanned, delta, len(req.Tasks))
+	}
+	// The partial-invalidation counter is registered (zero here — the
+	// service plans against per-request snapshots, so nothing tag-evicts).
+	text := scrape(t, srv)
+	if !strings.Contains(text, MetricPlanCachePartialInvalidations) {
+		t.Fatalf("metrics exposition missing %s", MetricPlanCachePartialInvalidations)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"opass/internal/cluster"
@@ -65,6 +66,10 @@ const (
 	MetricEngineRetries        = "opass_engine_retries_total"
 	MetricEngineReplans        = "opass_engine_replans_total"
 	MetricEngineRepairedChunks = "opass_engine_repaired_chunks_total"
+	// MetricEngineDeltaReplanned counts tasks re-matched by incremental
+	// (delta) replans — the surgical subset of each backlog actually moved,
+	// as opposed to MetricEngineReplans which counts whole splice events.
+	MetricEngineDeltaReplanned = "opass_engine_delta_replanned_tasks_total"
 	MetricSimLastMakespan      = "opass_sim_last_makespan_seconds"
 	MetricSimLastTasksRun      = "opass_sim_last_tasks_run"
 	MetricSimLastRetries       = "opass_sim_last_retries"
@@ -97,6 +102,12 @@ const (
 	// current footprint.
 	MetricPlanCacheEntries = "opass_plan_cache_entries"
 	MetricPlanCacheBytes   = "opass_plan_cache_bytes"
+	// MetricPlanCachePartialInvalidations counts cache entries evicted by
+	// tag-scoped (per-file) invalidation rather than a full flush. The
+	// HTTP service plans against per-request snapshots, so this stays zero
+	// here; library embedders sharing a live FileSystem through
+	// plancache.ProblemCache drive it.
+	MetricPlanCachePartialInvalidations = "opass_plan_cache_partial_invalidations_total"
 )
 
 // Limits protecting the decoder and the planners from hostile or
@@ -280,6 +291,10 @@ type Server struct {
 	// disabled. /v1/plan and /v1/simulate share it (the simulation itself
 	// is never cached).
 	planCache *plancache.Cache[cachedPlan]
+	// partialsSeen is the last plancache partial-invalidation total already
+	// exported; the plan path exports the monotonic difference so the
+	// counter tracks the cache's lifetime Stats without double counting.
+	partialsSeen atomic.Uint64
 	// plannerRan, when set, is called once per actual planner invocation —
 	// a test hook proving cache hits and coalesced requests skip the
 	// planner.
@@ -328,6 +343,7 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricEngineRetries, "Reads retried after DataNode failures across all simulations.")
 	reg.Help(MetricEngineReplans, "Backlog replans spliced into running simulations.")
 	reg.Help(MetricEngineRepairedChunks, "Chunks restored to full replication by the repair pass, across all simulations.")
+	reg.Help(MetricEngineDeltaReplanned, "Tasks re-matched by incremental (delta) replans across all simulations.")
 	reg.Help(MetricSimLastMakespan, "Makespan of the most recent simulation, seconds of virtual time.")
 	reg.Help(MetricSimLastTasksRun, "Tasks executed by the most recent simulation.")
 	reg.Help(MetricSimLastRetries, "Retried reads in the most recent simulation.")
@@ -343,6 +359,7 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricPlanCacheEvictions, "Plan-cache entries dropped by capacity bounds or TTL.")
 	reg.Help(MetricPlanCacheEntries, "Plans currently cached.")
 	reg.Help(MetricPlanCacheBytes, "Estimated bytes of plans currently cached.")
+	reg.Help(MetricPlanCachePartialInvalidations, "Plan-cache entries evicted by tag-scoped invalidation instead of a full flush.")
 
 	maxInflight := opts.MaxInflight
 	if maxInflight <= 0 {
@@ -392,6 +409,9 @@ func NewServer(opts ServerOptions) *Server {
 		})
 		reg.Gauge(MetricPlanCacheEntries).Set(0)
 		reg.Gauge(MetricPlanCacheBytes).Set(0)
+		// Instantiate the partial-invalidation counter at zero so the
+		// family is scrapeable before the first tag-scoped eviction.
+		reg.Counter(MetricPlanCachePartialInvalidations)
 	}
 
 	mux := http.NewServeMux()
@@ -496,6 +516,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(MetricSimRetries).Add(float64(res.Retries))
 	s.reg.Counter(MetricEngineRetries).Add(float64(res.Retries))
 	s.reg.Counter(MetricEngineReplans).Add(float64(res.Replans))
+	s.reg.Counter(MetricEngineDeltaReplanned).Add(float64(res.DeltaReplannedTasks))
 	s.reg.Counter(MetricEngineRepairedChunks).Add(float64(res.RepairedChunks))
 	s.reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
 	s.reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
@@ -850,6 +871,9 @@ func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem)
 	stats := s.planCache.Stats()
 	s.reg.Gauge(MetricPlanCacheEntries).Set(float64(stats.Entries))
 	s.reg.Gauge(MetricPlanCacheBytes).Set(float64(stats.Bytes))
+	if prev := s.partialsSeen.Swap(stats.PartialInvalidations); stats.PartialInvalidations > prev {
+		s.reg.Counter(MetricPlanCachePartialInvalidations).Add(float64(stats.PartialInvalidations - prev))
+	}
 	if err != nil {
 		return PlanResponse{}, nil, err
 	}

@@ -18,7 +18,7 @@ import (
 // fsView is a minimal single-rack ClusterView for building test layouts.
 type fsView struct{ n int }
 
-func (v fsView) NumNodes() int { return v.n }
+func (v fsView) NumNodes() int  { return v.n }
 func (v fsView) RackOf(int) int { return 0 }
 
 // countingServer builds a server whose plannerRan hook counts actual

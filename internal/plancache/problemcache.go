@@ -1,0 +1,116 @@
+package plancache
+
+import (
+	"context"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+// ProblemCache binds a Cache of assignments to one live dfs.FileSystem,
+// closing the surgical-invalidation loop for library callers (the HTTP
+// planning service reconstructs a file system per request, so it relies on
+// fingerprint epochs alone; a long-lived embedder shares one FS with the
+// admin operations that mutate it and wants stale plans dropped eagerly):
+//
+//   - Keys are the problem's canonical fingerprint plus caller salt
+//     (strategy name, planner parameters), so per-chunk placement epochs
+//     make any stale entry unreachable.
+//   - Entries are tagged with the chunk IDs the problem reads, and the
+//     file system's placement observer invalidates exactly the entries
+//     whose chunks a mutation touched — a replica move on file A evicts
+//     nothing that only reads file B.
+//
+// NewProblemCache registers the cache as the file system's placement
+// observer (dfs.FileSystem.OnPlacementChange), replacing any previous one.
+type ProblemCache struct {
+	fs    *dfs.FileSystem
+	cache *Cache[*core.Assignment]
+
+	onInvalidate func(evicted int)
+}
+
+// ProblemCacheOptions configures a ProblemCache.
+type ProblemCacheOptions struct {
+	// Cache carries the retention bounds and eviction callback for the
+	// underlying Cache.
+	Cache Options
+	// OnInvalidate, if set, is called after every placement mutation that
+	// evicted cached plans, with the number of entries dropped — the feed
+	// for the opass_plan_cache_partial_invalidations_total counter. It is
+	// invoked synchronously from the mutating call.
+	OnInvalidate func(evicted int)
+}
+
+// NewProblemCache creates a plan cache bound to fs and installs its
+// placement observer.
+func NewProblemCache(fs *dfs.FileSystem, opts ProblemCacheOptions) *ProblemCache {
+	pc := &ProblemCache{
+		fs:           fs,
+		cache:        New[*core.Assignment](opts.Cache),
+		onInvalidate: opts.OnInvalidate,
+	}
+	fs.OnPlacementChange(func(changed []dfs.ChunkID) {
+		if len(changed) == 0 {
+			return
+		}
+		tags := make([]uint64, len(changed))
+		for i, id := range changed {
+			tags[i] = uint64(id)
+		}
+		if n := pc.cache.InvalidateTags(tags...); n > 0 && pc.onInvalidate != nil {
+			pc.onInvalidate(n)
+		}
+	})
+	return pc
+}
+
+// Plan returns the assignment for p under the given planner, serving it
+// from the cache when a byte-identical problem (same placement epochs) was
+// planned before, and computing + caching it otherwise with full request
+// coalescing. salt distinguishes plans that differ only in planner
+// configuration (strategy name, seed, weights); callers must include every
+// parameter that changes the output.
+func (pc *ProblemCache) Plan(ctx context.Context, p *core.Problem, planner core.Assigner, salt ...[]byte) (*core.Assignment, Outcome, error) {
+	sections := make([][]byte, 0, len(salt)+2)
+	sections = append(sections, p.AppendCanonical(nil), []byte(planner.Name()))
+	sections = append(sections, salt...)
+	key := KeyOf(sections...)
+	return pc.cache.DoTagged(ctx, key, chunkTags(p), func(cctx context.Context) (*core.Assignment, int64, error) {
+		a, err := core.AssignContext(cctx, planner, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, assignmentSize(a), nil
+	})
+}
+
+// Stats reports the underlying cache's totals.
+func (pc *ProblemCache) Stats() Stats { return pc.cache.Stats() }
+
+// chunkTags collects the distinct chunk IDs p reads, in first-use order.
+func chunkTags(p *core.Problem) []uint64 {
+	seen := make(map[uint64]struct{})
+	var tags []uint64
+	for i := range p.Tasks {
+		for _, in := range p.Tasks[i].Inputs {
+			id := uint64(in.Chunk)
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			tags = append(tags, id)
+		}
+	}
+	return tags
+}
+
+// assignmentSize estimates an assignment's retained bytes for the cache's
+// byte bound: the Owner and Lists int slices dominate.
+func assignmentSize(a *core.Assignment) int64 {
+	n := int64(len(a.Owner))
+	for _, l := range a.Lists {
+		n += int64(len(l)) + 3 // slice header overhead in ints
+	}
+	return n*8 + 64
+}

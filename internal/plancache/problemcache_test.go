@@ -1,0 +1,190 @@
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"opass/internal/core"
+	"opass/internal/dfs"
+)
+
+type clusterView struct{ n int }
+
+func (v clusterView) NumNodes() int       { return v.n }
+func (v clusterView) RackOf(node int) int { return 0 }
+
+// problemRig is a ProblemCache over one FS with one cached plan per file.
+type problemRig struct {
+	fs          *dfs.FileSystem
+	pc          *ProblemCache
+	files       []string
+	probs       map[string]*core.Problem
+	chunks      map[string]map[dfs.ChunkID]bool
+	invalidated int
+}
+
+func buildProblemRig(t *testing.T, nodes, files, chunksPerFile int, seed int64, pol dfs.Placement) *problemRig {
+	t.Helper()
+	rig := &problemRig{
+		fs:     dfs.New(clusterView{nodes}, dfs.Config{Seed: seed, Placement: pol}),
+		probs:  map[string]*core.Problem{},
+		chunks: map[string]map[dfs.ChunkID]bool{},
+	}
+	rig.pc = NewProblemCache(rig.fs, ProblemCacheOptions{
+		OnInvalidate: func(evicted int) { rig.invalidated += evicted },
+	})
+	procNode := make([]int, nodes)
+	for i := range procNode {
+		procNode[i] = i
+	}
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("/f%d", i)
+		f, err := rig.fs.Create(name, float64(chunksPerFile)*64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.files = append(rig.files, name)
+		rig.chunks[name] = map[dfs.ChunkID]bool{}
+		for _, id := range f.Chunks {
+			rig.chunks[name][id] = true
+		}
+		p, err := core.SingleDataProblem(rig.fs, []string{name}, procNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.probs[name] = p
+	}
+	return rig
+}
+
+// plan runs every file's problem through the cache and returns the per-file
+// outcome.
+func (rig *problemRig) plan(t *testing.T) map[string]Outcome {
+	t.Helper()
+	out := map[string]Outcome{}
+	for _, name := range rig.files {
+		_, oc, err := rig.pc.Plan(context.Background(), rig.probs[name], core.SingleData{Seed: 1})
+		if err != nil {
+			t.Fatalf("plan %s: %v", name, err)
+		}
+		out[name] = oc
+	}
+	return out
+}
+
+// epochSnapshot records the placement epoch of every chunk of every file.
+func (rig *problemRig) epochSnapshot() map[dfs.ChunkID]uint64 {
+	out := map[dfs.ChunkID]uint64{}
+	for _, name := range rig.files {
+		for id := range rig.chunks[name] {
+			out[id] = rig.fs.Chunk(id).Epoch()
+		}
+	}
+	return out
+}
+
+// TestProblemCacheSurgicalInvalidation is the table-driven
+// mutation→expected-evictions audit: node death, re-replication repair, and
+// a balancer run must each evict exactly the cached plans of files whose
+// chunks the mutation touched, leave every other plan hot, and account the
+// drops in the partial-invalidation counter.
+func TestProblemCacheSurgicalInvalidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		layout dfs.Placement
+		// prep runs before the measurement window (it may mutate freely);
+		// mutate is the audited placement change.
+		prep   func(t *testing.T, rig *problemRig)
+		mutate func(t *testing.T, rig *problemRig)
+	}{
+		{
+			// A DataNode dies: every file with a replica there is touched.
+			name:   "node-death",
+			layout: dfs.RandomPlacement{},
+			mutate: func(t *testing.T, rig *problemRig) {
+				node := rig.fs.Chunk(0).Replicas[0]
+				if _, _, err := rig.fs.Crash(node); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// Repair after a crash: exactly the re-replicated chunks move.
+			name:   "re-replicate",
+			layout: dfs.RandomPlacement{},
+			prep: func(t *testing.T, rig *problemRig) {
+				node := rig.fs.Chunk(0).Replicas[0]
+				if _, _, err := rig.fs.Crash(node); err != nil {
+					t.Fatal(err)
+				}
+			},
+			mutate: func(t *testing.T, rig *problemRig) {
+				if repaired := rig.fs.ReReplicate(); repaired == 0 {
+					t.Fatal("nothing to repair; fixture broken")
+				}
+			},
+		},
+		{
+			// Balancer pass over a clustered (skewed) layout.
+			name:   "balancer",
+			layout: dfs.ClusteredPlacement{},
+			mutate: func(t *testing.T, rig *problemRig) {
+				if moved := rig.fs.Balance(0.1); moved == 0 {
+					t.Fatal("balancer moved nothing; fixture broken")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rig := buildProblemRig(t, 16, 6, 3, 91, tc.layout)
+			if tc.prep != nil {
+				tc.prep(t, rig)
+			}
+			if oc := rig.plan(t); oc[rig.files[0]] != Miss {
+				t.Fatalf("first plan outcome = %v, want Miss", oc[rig.files[0]])
+			}
+			if oc := rig.plan(t); oc[rig.files[0]] != Hit {
+				t.Fatalf("second plan outcome = %v, want Hit", oc[rig.files[0]])
+			}
+
+			before := rig.epochSnapshot()
+			rig.invalidated = 0
+			basePartials := rig.pc.Stats().PartialInvalidations
+			tc.mutate(t, rig)
+
+			// Derive the touched files from the per-chunk epochs and compare
+			// against what the cache actually dropped.
+			touched := map[string]bool{}
+			for _, name := range rig.files {
+				for id := range rig.chunks[name] {
+					if rig.fs.Chunk(id).Epoch() != before[id] {
+						touched[name] = true
+					}
+				}
+			}
+			if len(touched) == 0 || len(touched) == len(rig.files) {
+				t.Fatalf("fixture not discriminating: %d of %d files touched", len(touched), len(rig.files))
+			}
+			if rig.invalidated != len(touched) {
+				t.Fatalf("mutation evicted %d plans, want exactly the %d touched files (%v)",
+					rig.invalidated, len(touched), touched)
+			}
+			if got := rig.pc.Stats().PartialInvalidations - basePartials; got != uint64(len(touched)) {
+				t.Fatalf("PartialInvalidations advanced by %d, want %d", got, len(touched))
+			}
+
+			// Untouched files stay hot; touched files recompute.
+			for name, oc := range rig.plan(t) {
+				want := Hit
+				if touched[name] {
+					want = Miss
+				}
+				if oc != want {
+					t.Fatalf("%s (touched=%v): outcome = %v, want %v", name, touched[name], oc, want)
+				}
+			}
+		})
+	}
+}

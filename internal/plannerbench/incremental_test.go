@@ -1,0 +1,73 @@
+package plannerbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReplanRig pins the rig's contract at every benchmark scale: both
+// replans splice, and the delta replan touches only a small fraction of
+// the backlog — the property that makes it worth benchmarking at all.
+func TestReplanRig(t *testing.T) {
+	for _, procs := range Sizes {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			r, err := BuildReplanRig(procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.ReplanCold(); err != nil {
+				t.Fatal(err)
+			}
+			rematched, err := r.ReplanDelta()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := len(r.Prob.Tasks)
+			if rematched == 0 {
+				t.Fatal("delta replan re-matched nothing after a crash")
+			}
+			if rematched*10 >= total {
+				t.Fatalf("delta replan re-matched %d of %d tasks — not surgical", rematched, total)
+			}
+		})
+	}
+}
+
+// BenchmarkReplanCold and BenchmarkReplanDelta are the incremental series:
+// the same single-node-loss event answered by a whole-backlog re-match
+// versus the O(delta) replan.
+func BenchmarkReplanCold(b *testing.B) {
+	for _, procs := range Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			r, err := BuildReplanRig(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.ReplanCold(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplanDelta(b *testing.B) {
+	for _, procs := range Sizes {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			r, err := BuildReplanRig(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ReplanDelta(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
