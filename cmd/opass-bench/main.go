@@ -28,6 +28,8 @@
 //	                    invariant checks (needs >= 8 nodes, so -scale <= 8)
 //	racks               oversubscribed multi-rack fabric study
 //	shared              co-running jobs interference study (§V-C1)
+//	jobmix              staggered job mix: isolated per-job plans vs the
+//	                    cluster-level scheduler (see -benchjson)
 //	datasize            dataset-size sweep at fixed cluster size
 //	planner             planner hot-path microbenchmarks (probe vs locality
 //	                    index; see -benchjson)
@@ -77,7 +79,7 @@ func main() {
 			"fig1", "fig3", "fig7", "fig7c", "fig9", "fig11", "fig12",
 			"overhead", "scale", "ablation-placement",
 			"dynamic-masters", "hetero", "greedy",
-			"redistribution", "replication", "sensitivity", "faults", "chaos", "racks", "shared", "datasize",
+			"redistribution", "replication", "sensitivity", "faults", "chaos", "racks", "shared", "jobmix", "datasize",
 		}
 	}
 	for i, name := range names {
@@ -183,6 +185,21 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(r.Render())
+	case "jobmix":
+		r, err := experiments.JobMix(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if benchJSONPath != "" {
+			wrap := struct {
+				Jobmix *experiments.JobMixResult `json:"jobmix"`
+			}{r}
+			if err := mergeBenchJSON(benchJSONPath, wrap); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n", benchJSONPath)
+		}
 	case "racks":
 		r, err := experiments.RackTopology(cfg)
 		if err != nil {

@@ -210,13 +210,38 @@ func plannerExperiment(path string) error {
 	if path == "" {
 		return nil
 	}
-	blob, err := json.MarshalIndent(rep, "", " ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+	if err := mergeBenchJSON(path, rep); err != nil {
 		return err
 	}
 	fmt.Printf("(wrote %s)\n", path)
 	return nil
+}
+
+// mergeBenchJSON updates the BENCH json document in place: v's top-level
+// fields replace the matching keys of the existing document, and keys
+// written by other experiments (e.g. the jobmix series next to the planner
+// rows) are preserved. A missing or unreadable document starts fresh.
+func mergeBenchJSON(path string, v any) error {
+	doc := map[string]json.RawMessage{}
+	if blob, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return err
+	}
+	for k, val := range m {
+		doc[k] = val
+	}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

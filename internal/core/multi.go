@@ -19,6 +19,15 @@ type MultiData struct {
 	// Seed drives the random placement of tasks that no process holds any
 	// data for.
 	Seed int64
+	// NodeBias optionally discounts the proposal values of every process
+	// hosted on a given node: process i proposes with
+	// NodeBias[ProcNode[i]] * m_i^j instead of the raw co-located size.
+	// Factors must be in (0, 1]; nil means no bias. A biased-down (hot)
+	// process still prefers its own most-local tasks — the factor is
+	// constant within a process, so its preference order is unchanged —
+	// but it loses contested tasks to processes on cold nodes, which is
+	// how the cluster-level scheduler trades locality for global balance.
+	NodeBias []float64
 }
 
 // Name implements Assigner.
@@ -41,6 +50,16 @@ func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 	}
 	n, m := len(p.Tasks), p.NumProcs()
 	quotas := taskQuotas(n, m)
+	pb, err := procBias(p, md.NodeBias)
+	if err != nil {
+		return nil, err
+	}
+	biasOf := func(proc int) float64 {
+		if pb == nil {
+			return 1
+		}
+		return pb[proc]
+	}
 
 	// Matching values m_i^j come from the shared locality index (one
 	// O(edges) inversion instead of m·n CoLocatedMB probes). Each process's
@@ -114,7 +133,7 @@ func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 				counts[k]++
 				continue
 			}
-			if ix.CoLocatedMB(cur, x) < e.MB { // line 11
+			if biasOf(cur)*ix.CoLocatedMB(cur, x) < biasOf(k)*e.MB { // line 11
 				owner[x] = k // lines 12-13
 				counts[k]++
 				counts[cur]--
@@ -150,8 +169,8 @@ func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 			if counts[e.Proc] >= quotas[e.Proc] {
 				continue
 			}
-			if e.MB > bestW {
-				best, bestW = e.Proc, e.MB
+			if w := biasOf(e.Proc) * e.MB; w > bestW {
+				best, bestW = e.Proc, w
 			}
 		}
 		if best < 0 || bestW <= 0 {

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"opass/internal/cluster"
+	"opass/internal/dfs"
+)
+
+// biasRig builds a single-data problem with one process per node.
+func biasRig(t *testing.T, nodes, chunksPerProc int, seed int64) (*dfs.FileSystem, *Problem) {
+	t.Helper()
+	topo := cluster.New(nodes, cluster.Marmot())
+	fs := dfs.New(topo, dfs.Config{Seed: seed})
+	if _, err := fs.Create("/data", float64(nodes*chunksPerProc)*64); err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]int, nodes)
+	for i := range procs {
+		procs[i] = i
+	}
+	p, err := SingleDataProblem(fs, []string{"/data"}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, p
+}
+
+func ownerCounts(p *Problem, a *Assignment) []int {
+	counts := make([]int, p.NumProcs())
+	for _, o := range a.Owner {
+		counts[o]++
+	}
+	return counts
+}
+
+func TestSingleDataNodeBiasShiftsQuota(t *testing.T) {
+	_, p := biasRig(t, 8, 8, 21)
+	base, err := SingleData{Seed: 21}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := make([]float64, 8)
+	for i := range bias {
+		bias[i] = 1
+	}
+	bias[0] = 0.25 // node 0 is hot: cut its process's quota hard
+	biased, err := SingleData{Seed: 21, NodeBias: bias}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := biased.Validate(p); err != nil {
+		t.Fatalf("biased assignment invalid: %v", err)
+	}
+	bc, cc := ownerCounts(p, base), ownerCounts(p, biased)
+	if cc[0] >= bc[0] {
+		t.Fatalf("biasing node 0 to 0.25 left its process owning %d tasks (unbiased %d)", cc[0], bc[0])
+	}
+}
+
+func TestSingleDataNodeBiasComposesWithWeights(t *testing.T) {
+	_, p := biasRig(t, 4, 6, 22)
+	bias := []float64{0.5, 1, 1, 1}
+	weights := []float64{1, 2, 1, 1}
+	a, err := SingleData{Seed: 22, NodeBias: bias, Weights: weights}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatalf("assignment with bias and weights invalid: %v", err)
+	}
+}
+
+func TestNodeBiasValidation(t *testing.T) {
+	_, p := biasRig(t, 4, 2, 23)
+	for _, tc := range []struct {
+		name string
+		bias []float64
+	}{
+		{"too short", []float64{1, 1}},
+		{"zero factor", []float64{1, 0, 1, 1}},
+		{"negative factor", []float64{1, -0.5, 1, 1}},
+		{"above one", []float64{1, 1.5, 1, 1}},
+	} {
+		if _, err := (SingleData{NodeBias: tc.bias}).Assign(p); err == nil {
+			t.Errorf("SingleData accepted %s bias %v", tc.name, tc.bias)
+		}
+		if _, err := (MultiData{NodeBias: tc.bias}).Assign(p); err == nil {
+			t.Errorf("MultiData accepted %s bias %v", tc.name, tc.bias)
+		}
+	}
+}
+
+func TestMultiDataNodeBiasDivertsContestedTasks(t *testing.T) {
+	_, p := biasRig(t, 8, 8, 24)
+	base, err := MultiData{Seed: 24}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := make([]float64, 8)
+	for i := range bias {
+		bias[i] = 1
+	}
+	bias[0] = 0.1
+	biased, err := MultiData{Seed: 24, NodeBias: bias}.Assign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := biased.Validate(p); err != nil {
+		t.Fatalf("biased multi-data assignment invalid: %v", err)
+	}
+	bc, cc := ownerCounts(p, base), ownerCounts(p, biased)
+	if cc[0] > bc[0] {
+		t.Fatalf("biasing node 0 to 0.1 grew its process to %d tasks (unbiased %d)", cc[0], bc[0])
+	}
+}

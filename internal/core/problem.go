@@ -240,6 +240,32 @@ func AssignContext(ctx context.Context, a Assigner, p *Problem) (*Assignment, er
 	return a.Assign(p)
 }
 
+// procBias expands a per-node bias vector into per-process factors and
+// validates it: factors must be in (0, 1] and the vector must cover every
+// node hosting a process. A nil bias means "no bias" and returns nil. This
+// is the lever the cluster-level scheduler (internal/globalsched) uses to
+// steer a job's matcher away from nodes that are hot from earlier jobs: in
+// the flow formulation the factors scale the source→process arc capacities
+// (the per-process quota edges), in the matching formulation they scale the
+// proposal values.
+func procBias(p *Problem, bias []float64) ([]float64, error) {
+	if bias == nil {
+		return nil, nil
+	}
+	out := make([]float64, p.NumProcs())
+	for i, node := range p.ProcNode {
+		if node >= len(bias) {
+			return nil, fmt.Errorf("core: node bias covers %d nodes but process %d runs on node %d", len(bias), i, node)
+		}
+		b := bias[node]
+		if b <= 0 || b > 1 {
+			return nil, fmt.Errorf("core: node bias[%d] = %v must be in (0, 1]", node, b)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
 // taskQuotas splits n tasks over m processes as evenly as possible: the
 // first n%m processes receive one extra task, mirroring the paper's
 // "assigned an equal number of tasks" constraint.

@@ -28,6 +28,13 @@ type SingleData struct {
 	// Useful on heterogeneous clusters where slow nodes should read less.
 	// nil means equal shares, as in the paper's evaluation.
 	Weights []float64
+	// NodeBias optionally discounts the share of every process hosted on a
+	// given node: process i's quota is multiplied by NodeBias[ProcNode[i]].
+	// Factors must be in (0, 1]; nil means no bias. In the flow encoding
+	// the factors scale the source→process arc capacities, which is how the
+	// cluster-level scheduler steers an arriving job away from nodes that
+	// are already hot with earlier jobs' reads (locality-vs-balance knob).
+	NodeBias []float64
 }
 
 // Name implements Assigner.
@@ -56,6 +63,25 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 		}
 	}
 	n, m := len(p.Tasks), p.NumProcs()
+	// Fold the per-node bias into the per-process weights: both end up as
+	// the source-arc capacities of the flow network, so a biased-down node
+	// simply offers its processes a smaller share of the data.
+	weights := s.Weights
+	if weights != nil && len(weights) != m {
+		return nil, fmt.Errorf("core: %d weights for %d processes", len(weights), m)
+	}
+	if pb, err := procBias(p, s.NodeBias); err != nil {
+		return nil, err
+	} else if pb != nil {
+		combined := make([]float64, m)
+		for i := range combined {
+			combined[i] = pb[i]
+			if weights != nil {
+				combined[i] *= weights[i]
+			}
+		}
+		weights = combined
+	}
 	ix, err := NewLocalityIndexContext(ctx, p)
 	if err != nil {
 		return nil, err
@@ -72,7 +98,7 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 		sizes[t] = capUnits(p.Tasks[t].SizeMB(), scale)
 		total += sizes[t]
 	}
-	quotasMB, err := shareQuotas(total, m, s.Weights)
+	quotasMB, err := shareQuotas(total, m, weights)
 	if err != nil {
 		return nil, err
 	}
@@ -86,8 +112,8 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 		// half a task of slack on every process, and the stranded tasks
 		// would then be re-homed with no regard for locality.
 		counts := taskQuotas(n, m)
-		if s.Weights != nil {
-			counts = weightedTaskQuotas(n, m, s.Weights)
+		if weights != nil {
+			counts = weightedTaskQuotas(n, m, weights)
 		}
 		for i := range quotasMB {
 			quotasMB[i] = int64(counts[i]) * sizes[0]
@@ -126,7 +152,7 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 		matched[t] = o >= 0
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
-	if s.Weights == nil {
+	if weights == nil {
 		repairUnmatched(p, owner, rng)
 	} else {
 		repairUnmatchedWeighted(p, owner, quotasMB, rng)

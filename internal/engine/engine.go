@@ -214,8 +214,15 @@ type Result struct {
 	// Records lists every chunk read in completion order.
 	Records []ReadRecord
 	// Makespan is the virtual time from run start to the last process
-	// finishing — the job time under barrier synchronization.
+	// finishing — the job time under barrier synchronization. In a
+	// concurrent run (RunJobs) "run start" is the start of the whole mix,
+	// not the job's arrival: a job with StartAt > 0 includes its arrival
+	// delay here. Use JobMakespan for the job's own execution time.
 	Makespan float64
+	// Arrival is the virtual time at which the job's processes were
+	// released, relative to run start. Single-job runs leave it 0; RunJobs
+	// sets it to the job's StartAt.
+	Arrival float64
 	// ServedMB[node] is the data served by each storage node (the paper's
 	// per-node monitor).
 	ServedMB []float64
@@ -251,6 +258,17 @@ type Result struct {
 	// RepairedChunks counts chunks re-replication brought back toward the
 	// configured replication factor.
 	RepairedChunks int
+}
+
+// JobMakespan is the job's execution time measured from its own arrival
+// (completion minus arrival) — the per-job latency a tenant observes in a
+// staggered mix. For single-job runs it equals Makespan.
+func (r *Result) JobMakespan() float64 {
+	v := r.Makespan - r.Arrival
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // IOTimes extracts per-read durations in completion order.
@@ -312,6 +330,19 @@ type pending struct {
 // abortRun carries a fatal simulation error (e.g. data loss) out of the
 // completion callbacks.
 type abortRun struct{ err error }
+
+// detachWaiting hands back the current waiting list as an independent batch
+// and leaves the live list empty WITHOUT sharing the backing array: while
+// the batch is being re-polled, Poll callbacks may re-enter the engine and
+// append fresh waiters, and an aliased `w = w[:0]` would write those appends
+// into the very slots the batch iteration is still reading (the PR 1
+// aliasing bug). Stealing the array for the batch is both alias-free and
+// copy-free; the live list re-grows from nil.
+func detachWaiting(w *[]int) []int {
+	ws := *w
+	*w = nil
+	return ws
+}
 
 // stepBudget is the number of simulation events the drain loop advances
 // between cancellation checks: a cancelled context stops consuming CPU
@@ -507,11 +538,10 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 	retryWaiting = func() {
 		for len(waiting) > 0 {
 			stalled := activeWork() == 0
-			// Copy before truncating: appends below would otherwise write
-			// into the backing array ws still aliases (and Poll callbacks
-			// can re-enter this path through completion events).
-			ws := append([]int(nil), waiting...)
-			waiting = waiting[:0]
+			// Detach before iterating: appends below would otherwise write
+			// into the backing array the batch still aliases (and Poll
+			// callbacks can re-enter this path through completion events).
+			ws := detachWaiting(&waiting)
 			progress := false
 			for _, proc := range ws {
 				task, st := poller.Poll(proc, stalled)

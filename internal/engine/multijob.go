@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"opass/internal/cluster"
 	"opass/internal/core"
@@ -15,11 +17,16 @@ import (
 // due to the adjustment of HDFS" — a co-running job's reads land on the
 // same disks and NICs regardless of how well Opass planned its own. RunJobs
 // executes several jobs against one topology simultaneously so that
-// interference can be measured (the shared-cluster experiment).
+// interference can be measured (the shared-cluster experiment), and
+// RunJobsScheduled lets a ClusterScheduler plan each job at its arrival
+// against the residual cluster instead of an empty one (the globalsched
+// subsystem).
 
 // JobSpec is one application in a concurrent run.
 type JobSpec struct {
-	// Problem and Source drive the job's tasks, exactly as in Run.
+	// Problem and Source drive the job's tasks, exactly as in Run. Source
+	// may be nil only under RunJobsScheduled with a non-nil scheduler, in
+	// which case the scheduler supplies the source at the job's arrival.
 	Problem *core.Problem
 	Source  TaskSource
 	// ComputeTime gives per-task compute seconds (nil = pure I/O).
@@ -31,10 +38,72 @@ type JobSpec struct {
 	StartAt float64
 }
 
+// ClusterScheduler is consulted by RunJobsScheduled at every job arrival —
+// the seam for cluster-level planning above the per-job matchers (ROADMAP
+// item 1; OS4M-style operation-level global balancing). Implementations
+// track cumulative per-node service load across jobs and bias each arriving
+// job's plan toward nodes with residual capacity.
+type ClusterScheduler interface {
+	// JobArriving runs when job's processes are released (at run start for
+	// StartAt == 0, when the arrival timer fires otherwise). now is the
+	// arrival time in seconds relative to run start. A non-nil TaskSource
+	// replaces spec.Source for the job; returning nil keeps spec.Source
+	// (which must then be non-nil). An error aborts the whole run.
+	JobArriving(job int, spec JobSpec, now float64) (TaskSource, error)
+	// JobFinished runs when the job's last process completes, with the
+	// job's actual per-node served megabytes, so the scheduler can
+	// reconcile its planned load estimate against ground truth.
+	JobFinished(job int, servedMB []float64)
+}
+
+// ServingBalancer is an optional ClusterScheduler extension implementing
+// OS4M's operation-level balancing on the serving side: quota biasing can
+// only steer which process *owns* a task, but a task read remotely is
+// served by whichever replica holder the uniform HDFS pick lands on — load
+// the planner cannot place. When the scheduler also implements this
+// interface, RunJobsScheduled asks it to choose the holder for every
+// remote read and reports each read (local and remote) as it starts, so
+// the balancer can keep a live per-node serving tally. The balancer's
+// choice overrides the network-distance ordering of the default pick.
+type ServingBalancer interface {
+	ClusterScheduler
+	// PickRemote chooses the replica holder that should serve a remote
+	// read of sizeMB megabytes requested by a process on node reader.
+	// holders is non-empty, never contains reader, and must not be
+	// retained or mutated. Returning a node outside holders aborts the
+	// run.
+	PickRemote(reader int, holders []int, sizeMB float64) int
+	// ReadStarted reports that node is about to serve a sizeMB read.
+	ReadStarted(node int, sizeMB float64)
+}
+
 // RunJobs executes every job concurrently on the shared topology and file
-// system, returning one Result per job (times relative to the run start).
-// Node-failure injection is not supported in concurrent mode.
+// system, returning one Result per job. Each Result's times are relative to
+// the run start; Result.Arrival records the job's release time so
+// JobMakespan reports completion-minus-arrival. Node-failure injection is
+// not supported in concurrent mode.
 func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Result, error) {
+	return RunJobsContext(context.Background(), topo, fs, jobs)
+}
+
+// RunJobsContext is RunJobs under cooperative cancellation: the drain loop
+// advances the simulation in stepBudget-event slices and polls ctx between
+// slices. On abort every in-flight flow the run started — reads, compute
+// and arrival timers — is torn down, leaving the shared network idle and
+// reusable (mirroring single-job RunContext).
+func RunJobsContext(ctx context.Context, topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Result, error) {
+	return RunJobsScheduled(ctx, topo, fs, jobs, nil)
+}
+
+// RunJobsScheduled is RunJobsContext with a cluster-level scheduler hooked
+// into the arrival events: sched (when non-nil) is consulted as each job's
+// processes are released and may hand the job a freshly planned TaskSource;
+// it is informed of the job's actual per-node service load when the job
+// drains. A nil sched degrades to plain concurrent execution.
+func RunJobsScheduled(ctx context.Context, topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec, sched ClusterScheduler) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: run aborted before start: %w", err)
+	}
 	if topo == nil || fs == nil {
 		return nil, fmt.Errorf("engine: RunJobs requires a topology and file system")
 	}
@@ -45,19 +114,24 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 	if net.Active() != 0 {
 		return nil, fmt.Errorf("engine: network busy with %d flows at run start", net.Active())
 	}
+	balancer, _ := sched.(ServingBalancer)
 	start := net.Now()
 
 	type jobRT struct {
-		spec    JobSpec
-		poller  PollingSource
-		states  []state2
-		res     *Result
-		waiting []int
+		spec      JobSpec
+		poller    PollingSource
+		states    []state2
+		res       *Result
+		waiting   []int
+		remaining int // processes not yet finished
 	}
 	rts := make([]*jobRT, len(jobs))
 	for j, spec := range jobs {
-		if spec.Problem == nil || spec.Source == nil {
-			return nil, fmt.Errorf("engine: job %d missing problem or source", j)
+		if spec.Problem == nil {
+			return nil, fmt.Errorf("engine: job %d missing problem", j)
+		}
+		if spec.Source == nil && sched == nil {
+			return nil, fmt.Errorf("engine: job %d missing source (only scheduled runs may omit it)", j)
 		}
 		if err := spec.Problem.Validate(); err != nil {
 			return nil, fmt.Errorf("engine: job %d: %w", j, err)
@@ -70,20 +144,21 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		if spec.StartAt < 0 {
 			return nil, fmt.Errorf("engine: job %d negative start time", j)
 		}
-		poller, ok := spec.Source.(PollingSource)
-		if !ok {
-			poller = pollAdapter{spec.Source}
-		}
-		rts[j] = &jobRT{
-			spec:   spec,
-			poller: poller,
-			states: make([]state2, spec.Problem.NumProcs()),
+		rt := &jobRT{
+			spec:      spec,
+			states:    make([]state2, spec.Problem.NumProcs()),
+			remaining: spec.Problem.NumProcs(),
 			res: &Result{
 				Strategy:   spec.Strategy,
+				Arrival:    spec.StartAt,
 				ServedMB:   make([]float64, topo.NumNodes()),
 				ProcFinish: make([]float64, spec.Problem.NumProcs()),
 			},
 		}
+		if spec.Source != nil {
+			rt.poller = asPoller(spec.Source)
+		}
+		rts[j] = rt
 	}
 
 	type key struct{ job, proc int }
@@ -107,6 +182,23 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		if err != nil {
 			panic(abortRun{err})
 		}
+		if balancer != nil {
+			if !local {
+				holders := fs.Chunk(in.Chunk).Replicas
+				srcNode = balancer.PickRemote(node, holders, in.SizeMB)
+				ok := false
+				for _, h := range holders {
+					if h == srcNode {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					panic(abortRun{fmt.Errorf("engine: balancer picked node %d, not a holder of chunk %d", srcNode, in.Chunk)})
+				}
+			}
+			balancer.ReadStarted(srcNode, in.SizeMB)
+		}
 		id := net.Start(topo.ReadPath(srcNode, node), in.SizeMB, topo.ReadLatency(srcNode),
 			fmt.Sprintf("j%d/p%d/t%d", j, proc, st.task))
 		inflight[id] = pend{kind: kindRead, key: key{j, proc}, rec: ReadRecord{
@@ -116,13 +208,22 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		}}
 	}
 
+	finishProc := func(j, proc int) {
+		rt := rts[j]
+		rt.res.ProcFinish[proc] = net.Now() - start
+		rt.remaining--
+		if rt.remaining == 0 && sched != nil {
+			sched.JobFinished(j, append([]float64(nil), rt.res.ServedMB...))
+		}
+	}
+
 	startTask = func(j, proc int) {
 		rt := rts[j]
 		stalled := net.Active() == 0 && totalWaiting == 0
 		task, st := rt.poller.Poll(proc, stalled)
 		switch st {
 		case PollDone:
-			rt.res.ProcFinish[proc] = net.Now() - start
+			finishProc(j, proc)
 			return
 		case PollWait:
 			if stalled {
@@ -140,6 +241,28 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		startInput(j, proc)
 	}
 
+	// releaseJob fires at the job's arrival: consult the scheduler (which
+	// may plan the job against the residual cluster and hand back a fresh
+	// source), then start every process.
+	releaseJob := func(j int, now float64) {
+		rt := rts[j]
+		if sched != nil {
+			src, err := sched.JobArriving(j, rt.spec, now)
+			if err != nil {
+				panic(abortRun{fmt.Errorf("engine: scheduling job %d: %w", j, err)})
+			}
+			if src != nil {
+				rt.poller = asPoller(src)
+			}
+		}
+		if rt.poller == nil {
+			panic(abortRun{fmt.Errorf("engine: job %d has no task source at arrival", j)})
+		}
+		for proc := 0; proc < rt.spec.Problem.NumProcs(); proc++ {
+			startTask(j, proc)
+		}
+	}
+
 	retryWaiting := func() {
 		for totalWaiting > 0 {
 			stalled := net.Active() == 0
@@ -148,8 +271,11 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 				if len(rt.waiting) == 0 {
 					continue
 				}
-				ws := rt.waiting
-				rt.waiting = rt.waiting[:0]
+				// Detach before iterating, exactly as single-job Run does:
+				// startTask below may append re-waiting processes, and with
+				// an in-place `rt.waiting[:0]` truncation those appends
+				// would land in the backing array this loop is reading.
+				ws := detachWaiting(&rt.waiting)
 				totalWaiting -= len(ws)
 				for _, proc := range ws {
 					before := totalWaiting
@@ -200,9 +326,7 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 			startTask(j, proc)
 		case kindFailure:
 			// Job arrival timer: release every process of job j.
-			for proc := 0; proc < rt.spec.Problem.NumProcs(); proc++ {
-				startTask(j, proc)
-			}
+			releaseJob(j, now-start)
 		}
 		retryWaiting()
 	})
@@ -225,13 +349,20 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 				inflight[id] = pend{kind: kindFailure, key: key{job: j, proc: -1}}
 				continue
 			}
-			for proc := 0; proc < rt.spec.Problem.NumProcs(); proc++ {
-				startTask(j, proc)
-			}
+			releaseJob(j, 0)
 		}
 		retryWaiting()
 		for {
-			net.Run()
+			// Drain in budgeted slices instead of an uninterruptible
+			// net.Run(): between slices a cancelled context aborts the run.
+			for net.StepN(stepBudget) {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("engine: run aborted after %d events: %w", net.Completed(), err)
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: run aborted after %d events: %w", net.Completed(), err)
+			}
 			if totalWaiting == 0 {
 				break
 			}
@@ -239,6 +370,16 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		}
 		return nil
 	}(); err != nil {
+		// Tear down whatever the aborted run left in flight (reads, compute
+		// and arrival timers) so the shared network returns to idle.
+		victims := make([]simnet.FlowID, 0, len(inflight))
+		for id := range inflight {
+			victims = append(victims, id)
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+		for _, id := range victims {
+			net.Cancel(id)
+		}
 		net.OnComplete(nil)
 		return nil, err
 	}
@@ -254,6 +395,14 @@ func RunJobs(topo *cluster.Topology, fs *dfs.FileSystem, jobs []JobSpec) ([]*Res
 		results[j] = rt.res
 	}
 	return results, nil
+}
+
+// asPoller lifts a TaskSource into a PollingSource.
+func asPoller(src TaskSource) PollingSource {
+	if p, ok := src.(PollingSource); ok {
+		return p
+	}
+	return pollAdapter{src}
 }
 
 // state2 mirrors Run's per-process progress record.

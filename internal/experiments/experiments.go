@@ -54,7 +54,10 @@ type StrategyResult struct {
 	Served   metrics.Summary // per-node served data (MB)
 	ServedMB []float64
 	IOTimes  []float64
-	Local    float64 // fraction of bytes read locally
+	Local float64 // fraction of bytes read locally
+	// Makespan is completion minus arrival — for staggered concurrent jobs
+	// this is the latency the job's owner observes, not the wall-clock end
+	// of the whole mix. Single runs arrive at 0, so nothing changes there.
 	Makespan float64
 	Fairness float64
 	// MeanDiskUtilization is the average fraction of disk bandwidth used
@@ -79,7 +82,7 @@ func strategyResult(nodes int, res *engine.Result) StrategyResult {
 		ServedMB:            append([]float64(nil), res.ServedMB...),
 		IOTimes:             io,
 		Local:               res.LocalFraction(),
-		Makespan:            res.Makespan,
+		Makespan:            res.JobMakespan(),
 		Fairness:            metrics.JainIndex(res.ServedMB),
 		MeanDiskUtilization: util,
 	}

@@ -1,0 +1,100 @@
+package opass
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// jobMixCluster builds a cluster holding one dataset per job.
+func jobMixCluster(t *testing.T, nodes, jobs int) (*Cluster, []string) {
+	t.Helper()
+	c, err := NewClusterWithOptions(nodes, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]string, jobs)
+	for j := range files {
+		files[j] = "/job" + string(rune('a'+j))
+		if err := c.Store(files[j], float64(nodes*4)*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, files
+}
+
+func TestRunJobMixBothModes(t *testing.T) {
+	const nodes, jobs = 8, 3
+	for _, isolated := range []bool{true, false} {
+		c, files := jobMixCluster(t, nodes, jobs)
+		mix := make([]JobMixJob, jobs)
+		for j, f := range files {
+			plan, err := c.PlanSingleData(StrategyOpass, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mix[j] = JobMixJob{Plan: plan, StartAt: float64(j) * 2}
+		}
+		reports, err := c.RunJobMix(mix, JobMixOptions{Balance: 0.5, Isolated: isolated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, rep := range reports {
+			if rep.TasksRun != nodes*4 {
+				t.Fatalf("isolated=%v job %d ran %d tasks, want %d", isolated, j, rep.TasksRun, nodes*4)
+			}
+			if rep.Arrival != mix[j].StartAt {
+				t.Fatalf("isolated=%v job %d Arrival = %v, want %v", isolated, j, rep.Arrival, mix[j].StartAt)
+			}
+			if want := rep.Makespan - rep.Arrival; rep.JobMakespan != want {
+				t.Fatalf("isolated=%v job %d JobMakespan = %v, want %v", isolated, j, rep.JobMakespan, want)
+			}
+			wantStrategy := "globalsched"
+			if isolated {
+				wantStrategy = string(StrategyOpass)
+			}
+			if rep.Strategy != wantStrategy {
+				t.Fatalf("isolated=%v job %d strategy %q, want %q", isolated, j, rep.Strategy, wantStrategy)
+			}
+		}
+	}
+}
+
+func TestRunJobMixValidation(t *testing.T) {
+	c, files := jobMixCluster(t, 8, 1)
+	plan, err := c.PlanSingleData(StrategyOpass, files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJobMix([]JobMixJob{{Plan: nil}}, JobMixOptions{}); err == nil {
+		t.Fatal("RunJobMix accepted a nil plan")
+	}
+	if _, err := c.RunJobMix([]JobMixJob{{Plan: plan}}, JobMixOptions{Balance: 2}); err == nil {
+		t.Fatal("RunJobMix accepted balance 2")
+	}
+}
+
+func TestRunConcurrentContextCancelled(t *testing.T) {
+	c, files := jobMixCluster(t, 8, 2)
+	plans := make([]*Plan, len(files))
+	for j, f := range files {
+		p, err := c.PlanSingleData(StrategyOpass, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[j] = p
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunConcurrentContext(ctx, plans); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abort must leave the cluster reusable.
+	reports, err := c.RunConcurrent(plans)
+	if err != nil {
+		t.Fatalf("rerun after abort failed: %v", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("rerun returned %d reports", len(reports))
+	}
+}

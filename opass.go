@@ -27,6 +27,7 @@
 package opass
 
 import (
+	"context"
 	"fmt"
 
 	"opass/internal/cluster"
@@ -34,6 +35,7 @@ import (
 	"opass/internal/delay"
 	"opass/internal/dfs"
 	"opass/internal/engine"
+	"opass/internal/globalsched"
 )
 
 // Strategy names an assignment policy.
@@ -363,6 +365,13 @@ func (c *Cluster) RunWithOptions(p *Plan, opts RunOptions) (*Report, error) {
 // with another's. Dynamic plans use their strategy's master; static plans
 // walk their lists. Reports are returned in plan order.
 func (c *Cluster) RunConcurrent(plans []*Plan) ([]*Report, error) {
+	return c.RunConcurrentContext(context.Background(), plans)
+}
+
+// RunConcurrentContext is RunConcurrent under cooperative cancellation: a
+// cancelled or expired context aborts the mix mid-simulation, tearing down
+// every in-flight flow so the cluster's network returns to idle.
+func (c *Cluster) RunConcurrentContext(ctx context.Context, plans []*Plan) ([]*Report, error) {
 	jobs := make([]engine.JobSpec, len(plans))
 	for i, p := range plans {
 		var src engine.TaskSource
@@ -385,7 +394,78 @@ func (c *Cluster) RunConcurrent(plans []*Plan) ([]*Report, error) {
 			Strategy: string(p.Strategy),
 		}
 	}
-	results, err := engine.RunJobs(c.topo, c.fs, jobs)
+	results, err := engine.RunJobsContext(ctx, c.topo, c.fs, jobs)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		reports[i] = newReport(res)
+	}
+	return reports, nil
+}
+
+// JobMixJob is one application of a staggered job mix: a planned problem
+// and its arrival time.
+type JobMixJob struct {
+	// Plan carries the job's problem. Under global scheduling only the
+	// problem matters — the scheduler replans it at arrival against the
+	// residual cluster; Plan.Assignment is the job's isolated fallback.
+	Plan *Plan
+	// StartAt is the job's arrival delay in seconds of virtual time.
+	StartAt float64
+}
+
+// JobMixOptions tunes RunJobMix.
+type JobMixOptions struct {
+	// Balance is the locality-vs-global-balance knob in [0, 1] (see
+	// internal/globalsched): 0 plans each job in isolation even at arrival,
+	// 1 plans purely by residual node headroom.
+	Balance float64
+	// Isolated disables the cluster scheduler entirely: every job runs its
+	// own precomputed Plan.Assignment — the uncoordinated baseline the
+	// globally-scheduled run is compared against.
+	Isolated bool
+}
+
+// RunJobMix executes a staggered mix of jobs under the cluster-level
+// scheduler (or, with Isolated, as uncoordinated per-job plans). Each
+// report's JobMakespan is measured from the job's own arrival.
+func (c *Cluster) RunJobMix(jobs []JobMixJob, opts JobMixOptions) ([]*Report, error) {
+	return c.RunJobMixContext(context.Background(), jobs, opts)
+}
+
+// RunJobMixContext is RunJobMix under cooperative cancellation.
+func (c *Cluster) RunJobMixContext(ctx context.Context, jobs []JobMixJob, opts JobMixOptions) ([]*Report, error) {
+	specs := make([]engine.JobSpec, len(jobs))
+	for i, j := range jobs {
+		if j.Plan == nil {
+			return nil, fmt.Errorf("opass: job %d has no plan", i)
+		}
+		specs[i] = engine.JobSpec{
+			Problem:  j.Plan.Problem,
+			Strategy: string(j.Plan.Strategy),
+			StartAt:  j.StartAt,
+		}
+		if opts.Isolated {
+			specs[i].Source = engine.NewListSource(j.Plan.Assignment.Lists)
+		}
+	}
+	var sched engine.ClusterScheduler
+	if !opts.Isolated {
+		gs, err := globalsched.New(c.NumNodes(), globalsched.Options{
+			Balance: opts.Balance,
+			Seed:    c.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sched = gs
+		for i := range specs {
+			specs[i].Strategy = "globalsched"
+		}
+	}
+	results, err := engine.RunJobsScheduled(ctx, c.topo, c.fs, specs, sched)
 	if err != nil {
 		return nil, err
 	}

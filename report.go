@@ -25,8 +25,15 @@ type Report struct {
 	// LocalFraction is the fraction of bytes read from the reader's own
 	// disk.
 	LocalFraction float64
-	// Makespan is the job's virtual execution time in seconds.
+	// Makespan is the job's virtual execution time in seconds, measured
+	// from the start of the run (which, in a concurrent mix, may predate
+	// the job's arrival).
 	Makespan float64
+	// Arrival is when the job's processes were released, relative to run
+	// start (0 for single-job runs); JobMakespan is completion minus
+	// arrival — the latency the job's owner observes in a staggered mix.
+	Arrival     float64
+	JobMakespan float64
 	// Fairness is Jain's index over ServedMB (1.0 = perfectly balanced).
 	Fairness float64
 	// TasksRun counts executed tasks.
@@ -45,6 +52,8 @@ func newReport(res *engine.Result) *Report {
 		Served:        metrics.Summarize(res.ServedMB),
 		LocalFraction: res.LocalFraction(),
 		Makespan:      res.Makespan,
+		Arrival:       res.Arrival,
+		JobMakespan:   res.JobMakespan(),
 		Fairness:      metrics.JainIndex(res.ServedMB),
 		TasksRun:      res.TasksRun,
 		res:           res,
