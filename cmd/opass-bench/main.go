@@ -30,6 +30,9 @@
 //	shared              co-running jobs interference study (§V-C1)
 //	jobmix              staggered job mix: isolated per-job plans vs the
 //	                    cluster-level scheduler (see -benchjson)
+//	advisor             adaptive replication: static 3-way vs the access-
+//	                    driven replication advisor on a shifting hotspot
+//	                    (see -benchjson)
 //	datasize            dataset-size sweep at fixed cluster size
 //	planner             planner hot-path microbenchmarks (probe vs locality
 //	                    index; see -benchjson)
@@ -79,7 +82,7 @@ func main() {
 			"fig1", "fig3", "fig7", "fig7c", "fig9", "fig11", "fig12",
 			"overhead", "scale", "ablation-placement",
 			"dynamic-masters", "hetero", "greedy",
-			"redistribution", "replication", "sensitivity", "faults", "chaos", "racks", "shared", "jobmix", "datasize",
+			"redistribution", "replication", "sensitivity", "faults", "chaos", "racks", "shared", "jobmix", "advisor", "datasize",
 		}
 	}
 	for i, name := range names {
@@ -194,6 +197,21 @@ func run(name string, cfg experiments.Config) error {
 		if benchJSONPath != "" {
 			wrap := struct {
 				Jobmix *experiments.JobMixResult `json:"jobmix"`
+			}{r}
+			if err := mergeBenchJSON(benchJSONPath, wrap); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n", benchJSONPath)
+		}
+	case "advisor":
+		r, err := experiments.AdvisorStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		if benchJSONPath != "" {
+			wrap := struct {
+				Advisor *experiments.AdvisorResult `json:"advisor"`
 			}{r}
 			if err := mergeBenchJSON(benchJSONPath, wrap); err != nil {
 				return err

@@ -1,0 +1,357 @@
+// Package advisor closes the telemetry→placement loop: it reads the
+// namenode's decayed per-chunk access accounting (dfs.EnableAccessStats),
+// classifies chunks hot/warm/cold by popularity degree — a chunk's decayed
+// served megabytes relative to the fleet mean, following the weighted
+// dynamic-replication literature — and adjusts replication to match demand.
+// Hot chunks the matcher keeps placing remotely gain a replica on the node
+// whose processes keep pulling them over the network; cold chunks shed their
+// excess copies from the most-loaded holder. Every pass stays within a
+// storage budget and never trims a chunk below its redundancy floor.
+//
+// The advisor implements engine.AdvisorTicker, so an engine run drives it at
+// a fixed virtual-time interval; a tick that changed placement makes the
+// engine replan its pending backlog against the new replica sets (plan-cache
+// invalidation rides on the per-chunk placement epochs the dfs machinery
+// already bumps on every mutation).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"opass/internal/dfs"
+	"opass/internal/telemetry"
+)
+
+// Metric family names recorded when Options.Metrics is set.
+const (
+	// MetricTicks counts advisor passes.
+	MetricTicks = "opass_advisor_ticks_total"
+	// MetricReplicasAdded / MetricReplicasRemoved count replica copies
+	// created for hot chunks and trimmed from cold chunks.
+	MetricReplicasAdded   = "opass_advisor_replicas_added_total"
+	MetricReplicasRemoved = "opass_advisor_replicas_removed_total"
+	// MetricTargetsRaised / MetricTargetsLowered count replication-target
+	// (setrep) changes in each direction.
+	MetricTargetsRaised  = "opass_advisor_targets_raised_total"
+	MetricTargetsLowered = "opass_advisor_targets_lowered_total"
+	// MetricHot / MetricWarm / MetricCold gauge the classification of the
+	// fleet at the last tick.
+	MetricHot  = "opass_advisor_hot_chunks"
+	MetricWarm = "opass_advisor_warm_chunks"
+	MetricCold = "opass_advisor_cold_chunks"
+	// MetricStoredMB gauges the cluster's stored megabytes after the last
+	// tick; MetricBudgetMB the budget it is held under.
+	MetricStoredMB = "opass_advisor_stored_mb"
+	MetricBudgetMB = "opass_advisor_budget_mb"
+)
+
+// Options configures an Advisor.
+type Options struct {
+	// HotFactor is the popularity-degree threshold above which a chunk is
+	// hot: score >= HotFactor * fleet mean. Must exceed 1. Default 2.
+	HotFactor float64
+	// ColdFactor is the popularity-degree threshold at or below which a
+	// chunk is cold: score <= ColdFactor * fleet mean. Must be in [0, 1).
+	// Default 0.25.
+	ColdFactor float64
+	// MinReplicas floors every chunk's replica count: the advisor never
+	// trims below it. Must be at least 1. Default 2.
+	MinReplicas int
+	// MaxReplicas caps how many copies a hot chunk may gain (further capped
+	// by the live-node count). Must be at least MinReplicas. Default 5.
+	MaxReplicas int
+	// BudgetMB bounds the cluster's total stored megabytes: the advisor
+	// adds no replica that would push dfs.TotalStoredMB past it. Default:
+	// the stored megabytes at New (adaptive replication then only trades
+	// space, never grows the bill).
+	BudgetMB float64
+	// MaxActions caps replica additions and removals per tick (each
+	// direction separately), so one pass never storms the cluster. Default 4.
+	MaxActions int
+	// Metrics, when non-nil, receives the opass_advisor_* series.
+	Metrics *telemetry.Registry
+}
+
+// Stats is the advisor's cumulative action count plus the fleet
+// classification at the last tick.
+type Stats struct {
+	Ticks           int
+	ReplicasAdded   int
+	ReplicasRemoved int
+	TargetsRaised   int
+	TargetsLowered  int
+	Hot, Warm, Cold int
+}
+
+// Advisor is a periodic replication policy over one file system. It is not
+// safe for concurrent use; the engine drives Tick sequentially in
+// virtual-time order, matching the namenode's single-goroutine discipline.
+type Advisor struct {
+	fs    *dfs.FileSystem
+	opts  Options
+	stats Stats
+}
+
+// New builds an advisor over fs. Access accounting must already be enabled
+// (the half-life is workload-dependent, so the caller owns that choice).
+func New(fs *dfs.FileSystem, opts Options) (*Advisor, error) {
+	if !fs.AccessStatsEnabled() {
+		return nil, fmt.Errorf("advisor: access accounting disabled; call EnableAccessStats first")
+	}
+	if opts.HotFactor == 0 {
+		opts.HotFactor = 2
+	}
+	if opts.HotFactor <= 1 {
+		return nil, fmt.Errorf("advisor: hot factor %v must exceed 1", opts.HotFactor)
+	}
+	if opts.ColdFactor == 0 {
+		opts.ColdFactor = 0.25
+	}
+	if opts.ColdFactor < 0 || opts.ColdFactor >= 1 {
+		return nil, fmt.Errorf("advisor: cold factor %v must be in [0, 1)", opts.ColdFactor)
+	}
+	if opts.MinReplicas == 0 {
+		opts.MinReplicas = 2
+	}
+	if opts.MinReplicas < 1 {
+		return nil, fmt.Errorf("advisor: min replicas %d must be at least 1", opts.MinReplicas)
+	}
+	if opts.MaxReplicas == 0 {
+		opts.MaxReplicas = 5
+	}
+	if opts.MaxReplicas < opts.MinReplicas {
+		return nil, fmt.Errorf("advisor: max replicas %d below min %d", opts.MaxReplicas, opts.MinReplicas)
+	}
+	if opts.BudgetMB == 0 {
+		opts.BudgetMB = fs.TotalStoredMB()
+	}
+	if opts.BudgetMB < 0 {
+		return nil, fmt.Errorf("advisor: budget %v MB must be positive", opts.BudgetMB)
+	}
+	if opts.MaxActions == 0 {
+		opts.MaxActions = 4
+	}
+	if opts.MaxActions < 0 {
+		return nil, fmt.Errorf("advisor: max actions %d must be positive", opts.MaxActions)
+	}
+	if m := opts.Metrics; m != nil {
+		m.Help(MetricTicks, "Advisor passes over the access accounting.")
+		m.Help(MetricReplicasAdded, "Replica copies created for hot chunks.")
+		m.Help(MetricReplicasRemoved, "Replica copies trimmed from cold chunks.")
+		m.Help(MetricTargetsRaised, "Replication targets raised (setrep up).")
+		m.Help(MetricTargetsLowered, "Replication targets lowered (setrep down).")
+		m.Help(MetricHot, "Chunks classified hot at the last tick.")
+		m.Help(MetricWarm, "Chunks classified warm at the last tick.")
+		m.Help(MetricCold, "Chunks classified cold at the last tick.")
+		m.Help(MetricStoredMB, "Cluster stored MB after the last tick.")
+		m.Help(MetricBudgetMB, "Storage budget the advisor holds the cluster under.")
+		m.Gauge(MetricBudgetMB).Set(opts.BudgetMB)
+	}
+	return &Advisor{fs: fs, opts: opts}, nil
+}
+
+// Stats returns the cumulative action counts and last-tick classification.
+func (a *Advisor) Stats() Stats { return a.stats }
+
+// chunkState is one live chunk's classification input.
+type chunkState struct {
+	id    dfs.ChunkID
+	score float64 // decayed served MB
+	st    dfs.AccessStats
+}
+
+// Tick implements engine.AdvisorTicker: run one advisory pass at simulated
+// time now and report whether placement changed (so the engine replans its
+// pending backlog). A pass first trims cold chunks — freeing budget — then
+// promotes hot chunks that still see remote demand, placing each new copy on
+// the remote reader pulling the most megabytes.
+func (a *Advisor) Tick(now float64) bool {
+	fs := a.fs
+	a.stats.Ticks++
+
+	chunks := a.liveChunks(now)
+	var mean float64
+	for _, c := range chunks {
+		mean += c.score
+	}
+	if len(chunks) > 0 {
+		mean /= float64(len(chunks))
+	}
+
+	changed := false
+	var hot, cold []chunkState
+	nHot, nWarm, nCold := 0, 0, 0
+	if mean > 0 {
+		for _, c := range chunks {
+			switch pd := c.score / mean; {
+			case pd >= a.opts.HotFactor:
+				nHot++
+				if c.st.RemoteMB > 1e-6 {
+					hot = append(hot, c)
+				}
+			case pd <= a.opts.ColdFactor:
+				nCold++
+				cold = append(cold, c)
+			default:
+				nWarm++
+			}
+		}
+		if a.trimCold(cold) {
+			changed = true
+		}
+		if a.promoteHot(hot, now) {
+			changed = true
+		}
+	}
+
+	a.stats.Hot, a.stats.Warm, a.stats.Cold = nHot, nWarm, nCold
+	if m := a.opts.Metrics; m != nil {
+		m.Counter(MetricTicks).Inc()
+		m.Gauge(MetricHot).Set(float64(nHot))
+		m.Gauge(MetricWarm).Set(float64(nWarm))
+		m.Gauge(MetricCold).Set(float64(nCold))
+		m.Gauge(MetricStoredMB).Set(fs.TotalStoredMB())
+	}
+	return changed
+}
+
+// liveChunks collects every chunk reachable from the namespace with its
+// decayed access scores. Deleted chunks never appear (their files are gone).
+func (a *Advisor) liveChunks(now float64) []chunkState {
+	var out []chunkState
+	for _, name := range a.fs.Files() {
+		f, err := a.fs.Stat(name)
+		if err != nil {
+			continue // renamed or deleted between Files and Stat; skip
+		}
+		for _, id := range f.Chunks {
+			st := a.fs.Access(id, now)
+			out = append(out, chunkState{id: id, score: st.ServedMB, st: st})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// trimCold sheds one copy from each of the coldest over-replicated chunks,
+// up to MaxActions. The replica leaves the most-loaded holder, so trimming
+// doubles as a nudge toward balanced utilization. The setrep-down comes
+// first so the intent is declared even if the physical remove fails.
+func (a *Advisor) trimCold(cold []chunkState) bool {
+	sort.Slice(cold, func(i, j int) bool {
+		if cold[i].score != cold[j].score {
+			return cold[i].score < cold[j].score
+		}
+		return cold[i].id < cold[j].id
+	})
+	changed := false
+	actions := 0
+	for _, c := range cold {
+		if actions >= a.opts.MaxActions {
+			break
+		}
+		ch := a.fs.Chunk(c.id)
+		if len(ch.Replicas) <= a.opts.MinReplicas {
+			continue
+		}
+		if ch.ReplicationTarget() > len(ch.Replicas)-1 {
+			if err := a.fs.SetReplicationTarget(c.id, len(ch.Replicas)-1); err != nil {
+				continue
+			}
+			a.stats.TargetsLowered++
+			a.count(MetricTargetsLowered)
+			changed = true
+		}
+		victim := ch.Replicas[0]
+		for _, r := range ch.Replicas[1:] {
+			if a.fs.StoredMB(r) > a.fs.StoredMB(victim) {
+				victim = r
+			}
+		}
+		if err := a.fs.RemoveReplica(c.id, victim); err != nil {
+			continue
+		}
+		a.stats.ReplicasRemoved++
+		a.count(MetricReplicasRemoved)
+		changed = true
+		actions++
+	}
+	return changed
+}
+
+// promoteHot raises the replication of the hottest remote-heavy chunks, up
+// to MaxActions and within the storage budget. Each new copy lands on the
+// node whose processes pulled the most remote megabytes (the head of
+// RemoteReaders); when every remote reader already holds a copy or is dead,
+// the least-loaded live non-holder serves as fallback.
+func (a *Advisor) promoteHot(hot []chunkState, now float64) bool {
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].st.RemoteMB != hot[j].st.RemoteMB {
+			return hot[i].st.RemoteMB > hot[j].st.RemoteMB
+		}
+		return hot[i].id < hot[j].id
+	})
+	live := a.fs.LiveNodes()
+	alive := make(map[int]bool, len(live))
+	for _, n := range live {
+		alive[n] = true
+	}
+	cap := a.opts.MaxReplicas
+	if cap > len(live) {
+		cap = len(live)
+	}
+	changed := false
+	actions := 0
+	for _, c := range hot {
+		if actions >= a.opts.MaxActions {
+			break
+		}
+		ch := a.fs.Chunk(c.id)
+		if len(ch.Replicas) >= cap {
+			continue
+		}
+		if a.fs.TotalStoredMB()+ch.SizeMB > a.opts.BudgetMB {
+			continue // a smaller hot chunk later in the list may still fit
+		}
+		dst := -1
+		for _, n := range a.fs.RemoteReaders(c.id, now) {
+			if alive[n] && !ch.HostedOn(n) {
+				dst = n
+				break
+			}
+		}
+		if dst < 0 {
+			for _, n := range live {
+				if !ch.HostedOn(n) && (dst < 0 || a.fs.StoredMB(n) < a.fs.StoredMB(dst)) {
+					dst = n
+				}
+			}
+		}
+		if dst < 0 {
+			continue
+		}
+		if ch.ReplicationTarget() < len(ch.Replicas)+1 {
+			if err := a.fs.SetReplicationTarget(c.id, len(ch.Replicas)+1); err != nil {
+				continue
+			}
+			a.stats.TargetsRaised++
+			a.count(MetricTargetsRaised)
+			changed = true
+		}
+		if err := a.fs.AddReplica(c.id, dst); err != nil {
+			continue
+		}
+		a.stats.ReplicasAdded++
+		a.count(MetricReplicasAdded)
+		changed = true
+		actions++
+	}
+	return changed
+}
+
+func (a *Advisor) count(name string) {
+	if m := a.opts.Metrics; m != nil {
+		m.Counter(name).Inc()
+	}
+}

@@ -1,0 +1,128 @@
+package dfs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRecordReadNoOpUntilEnabled(t *testing.T) {
+	fs := newFS(4, 1)
+	f, err := fs.Create("/a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Chunks[0]
+	fs.RecordRead(id, 0, true, 64, 1)
+	if got := fs.Access(id, 2); got != (AccessStats{}) {
+		t.Fatalf("accounting recorded while disabled: %+v", got)
+	}
+	if fs.AccessStatsEnabled() {
+		t.Fatal("AccessStatsEnabled reports true before EnableAccessStats")
+	}
+}
+
+func TestAccessScoresDecayWithHalfLife(t *testing.T) {
+	fs := newFS(4, 1)
+	f, err := fs.Create("/a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Chunks[0]
+	fs.EnableAccessStats(10) // scores halve every 10 simulated seconds
+	fs.RecordRead(id, 1, false, 64, 0)
+	got := fs.Access(id, 0)
+	if got.Reads != 1 || got.ServedMB != 64 || got.RemoteMB != 64 || got.TotalReads != 1 {
+		t.Fatalf("fresh read scores = %+v", got)
+	}
+	got = fs.Access(id, 10)
+	if math.Abs(got.Reads-0.5) > 1e-9 || math.Abs(got.ServedMB-32) > 1e-9 {
+		t.Fatalf("after one half-life: %+v", got)
+	}
+	if got.TotalReads != 1 {
+		t.Fatalf("TotalReads decayed: %+v", got)
+	}
+	// A second read on the decayed entry stacks on top of the residue.
+	fs.RecordRead(id, 1, true, 64, 10)
+	got = fs.Access(id, 10)
+	if math.Abs(got.Reads-1.5) > 1e-9 || math.Abs(got.ServedMB-96) > 1e-9 {
+		t.Fatalf("stacked read scores = %+v", got)
+	}
+	if math.Abs(got.RemoteMB-32) > 1e-9 { // the second read was local
+		t.Fatalf("remote MB = %v, want 32", got.RemoteMB)
+	}
+}
+
+func TestRemoteReadersOrderedByDemand(t *testing.T) {
+	fs := newFS(8, 1)
+	f, err := fs.Create("/a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Chunks[0]
+	fs.EnableAccessStats(100)
+	fs.RecordRead(id, 5, false, 64, 0)
+	fs.RecordRead(id, 5, false, 64, 1)
+	fs.RecordRead(id, 3, false, 64, 2)
+	fs.RecordRead(id, 7, true, 64, 3) // local: must not appear
+	if got, want := fs.RemoteReaders(id, 3), []int{5, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("remote readers = %v, want %v", got, want)
+	}
+	// Far in the future everything has cooled below the tally floor.
+	if got := fs.RemoteReaders(id, 1e6); got != nil {
+		t.Fatalf("remote readers after full decay = %v, want none", got)
+	}
+}
+
+func TestSetReplicationTarget(t *testing.T) {
+	fs := newFS(6, 1)
+	f, err := fs.Create("/a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Chunks[0]
+	if err := fs.SetReplicationTarget(id, 0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	e0 := fs.Epoch()
+	if err := fs.SetReplicationTarget(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Chunk(id).ReplicationTarget(); got != 5 {
+		t.Fatalf("target = %d, want 5", got)
+	}
+	if fs.Epoch() <= e0 {
+		t.Fatal("target change did not bump the placement epoch")
+	}
+	if len(fs.Chunk(id).Replicas) != 3 {
+		t.Fatalf("setrep moved replicas: %v", fs.Chunk(id).Replicas)
+	}
+	// Same target again: a no-op, no epoch churn.
+	e1 := fs.Epoch()
+	if err := fs.SetReplicationTarget(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Epoch() != e1 {
+		t.Fatal("no-op setrep bumped the epoch")
+	}
+	// ReReplicate fills toward the declared target.
+	if repaired := fs.ReReplicate(); repaired != 1 {
+		t.Fatalf("repaired = %d, want 1", repaired)
+	}
+	if got := len(fs.Chunk(id).Replicas); got != 5 {
+		t.Fatalf("replicas after repair = %d, want 5", got)
+	}
+	if problems := fs.Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck: %v", problems)
+	}
+}
+
+func TestTotalStoredMB(t *testing.T) {
+	fs := newFS(4, 1)
+	if _, err := fs.Create("/a", 128); err != nil { // 2 chunks x 3 replicas
+		t.Fatal(err)
+	}
+	if got := fs.TotalStoredMB(); got != 384 {
+		t.Fatalf("total stored = %v, want 384", got)
+	}
+}

@@ -329,6 +329,7 @@ func (fs *FileSystem) Utilization(threshold float64) BalanceReport {
 		}
 	}
 	if len(live) == 0 {
+		rep.MinMB = 0 // the -1 above is a loop sentinel, not a result
 		return rep
 	}
 	rep.MeanMB = total / float64(len(live))
@@ -360,7 +361,7 @@ func (fs *FileSystem) Balance(threshold float64) int {
 		}
 		src := fs.mostLoaded(rep.Overloaded)
 		dst := fs.leastLoaded(rep.Underloaded)
-		if !fs.moveOneReplica(src, dst) {
+		if !fs.moveOneReplica(src, dst, fs.StoredMB(src)-rep.MeanMB) {
 			break
 		}
 		moved++
@@ -389,22 +390,34 @@ func (fs *FileSystem) leastLoaded(nodes []int) int {
 	return best
 }
 
-// moveOneReplica relocates one replica from src to dst; it prefers the
-// largest movable chunk so the balancer converges quickly.
-func (fs *FileSystem) moveOneReplica(src, dst int) bool {
-	var pick ChunkID = -1
-	var pickSize float64
+// moveOneReplica relocates one replica from src to dst. It picks the
+// largest movable chunk that fits within the donor's overage (how far src
+// sits above the mean), so a move never swings the donor from overloaded to
+// underloaded: an unbounded largest-chunk pick can overshoot past the mean
+// and leave Balance ping-ponging one big chunk between two nodes until the
+// iteration cap. When every movable chunk exceeds the overage, it falls
+// back to the smallest movable chunk, and only if moving it still strictly
+// shrinks the src/dst gap — otherwise no move helps and the balancer stops.
+func (fs *FileSystem) moveOneReplica(src, dst int, overageMB float64) bool {
+	var pick, smallest ChunkID = -1, -1
+	var pickSize, smallestSize float64
 	for _, id := range fs.perNode[src] {
 		c := fs.chunks[int(id)]
 		if c.HostedOn(dst) {
 			continue
 		}
-		if c.SizeMB > pickSize {
+		if c.SizeMB <= overageMB && c.SizeMB > pickSize {
 			pick, pickSize = id, c.SizeMB
+		}
+		if smallest < 0 || c.SizeMB < smallestSize {
+			smallest, smallestSize = id, c.SizeMB
 		}
 	}
 	if pick < 0 {
-		return false
+		if smallest < 0 || smallestSize >= fs.StoredMB(src)-fs.StoredMB(dst) {
+			return false
+		}
+		pick = smallest
 	}
 	c := fs.chunks[int(pick)]
 	out := c.Replicas[:0]

@@ -133,6 +133,9 @@ type FileSystem struct {
 	// lease): the namespace entry does not exist yet, but no other writer —
 	// and no namespace operation — may claim the name.
 	reserved map[string]bool
+	// access is the per-chunk access accounting (nil until
+	// EnableAccessStats) feeding the replication advisor.
+	access *accessStats
 }
 
 // New creates an empty FileSystem over the given cluster view.

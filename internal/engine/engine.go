@@ -150,8 +150,36 @@ type Options struct {
 	ReplanFull bool
 	// ReplanSeed seeds the re-matching (each replan round perturbs it).
 	ReplanSeed int64
+	// Balancer, when non-nil, chooses the replica holder for every remote
+	// read and is told of every read start — the single-job mirror of the
+	// ServingBalancer consultation RunJobsScheduled performs (PR 7 only
+	// wired it into the scheduled multi-job path, silently ignoring it for
+	// Run/RunContext). Holders passed to PickRemote never include the
+	// reader or a crashed node.
+	Balancer ReadSteerer
+	// Advisor, when non-nil, runs a placement-advisory pass every
+	// AdvisorInterval seconds of virtual time while any process is still
+	// working — the adaptive replication loop (internal/advisor) that
+	// turns the access telemetry recorded on the read path back into
+	// replica moves. A pass that reports changes triggers a replan of the
+	// pending backlog when Options.Replan is on.
+	Advisor AdvisorTicker
+	// AdvisorInterval is the advisor period in seconds; required positive
+	// when Advisor is set.
+	AdvisorInterval float64
 	// Strategy labels the run in reports.
 	Strategy string
+}
+
+// AdvisorTicker is the periodic placement-advisor hook: the engine fires
+// Tick every Options.AdvisorInterval seconds of virtual time. now is the
+// cluster's absolute virtual clock (sequential rounds share it, so decayed
+// access scores age correctly across rounds). Tick may mutate the run's
+// file system through the replica machinery (AddReplica, RemoveReplica,
+// SetReplicationTarget, ReReplicate, Balance) and reports whether anything
+// changed.
+type AdvisorTicker interface {
+	Tick(now float64) bool
 }
 
 // NodeFailure is one scheduled DataNode crash.
@@ -187,6 +215,9 @@ func (o *Options) validate() error {
 		if node < 0 || node >= o.Topo.NumNodes() {
 			return fmt.Errorf("engine: process on node %d outside %d-node topology", node, o.Topo.NumNodes())
 		}
+	}
+	if o.Advisor != nil && o.AdvisorInterval <= 0 {
+		return fmt.Errorf("engine: advisor interval %v must be positive", o.AdvisorInterval)
 	}
 	return nil
 }
@@ -258,6 +289,8 @@ type Result struct {
 	// RepairedChunks counts chunks re-replication brought back toward the
 	// configured replication factor.
 	RepairedChunks int
+	// AdvisorTicks counts placement-advisor passes fired during the run.
+	AdvisorTicks int
 }
 
 // JobMakespan is the job's execution time measured from its own arrival
@@ -317,6 +350,7 @@ const (
 	kindRepair
 	kindDegrade
 	kindRestore
+	kindAdvisor
 )
 
 type pending struct {
@@ -488,6 +522,32 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 		if err != nil {
 			panic(abortRun{fmt.Errorf("engine: process %d task %d: %w (all replica holders crashed)", proc, st.task, err)})
 		}
+		if opts.Balancer != nil {
+			if !local {
+				// The steerer chooses among the live holders (the reader is
+				// never one here: a live co-located replica would have made
+				// the pick local, and a crashed one is not a holder).
+				var holders []int
+				for _, r := range opts.FS.Chunk(in.Chunk).Replicas {
+					if r != node && !failed[r] {
+						holders = append(holders, r)
+					}
+				}
+				srcNode = opts.Balancer.PickRemote(node, holders, in.SizeMB)
+				ok := false
+				for _, h := range holders {
+					if h == srcNode {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					panic(abortRun{fmt.Errorf("engine: balancer picked node %d, not a live holder of chunk %d", srcNode, in.Chunk)})
+				}
+			}
+			opts.Balancer.ReadStarted(srcNode, in.SizeMB)
+		}
+		opts.FS.RecordRead(in.Chunk, node, local, in.SizeMB, net.Now())
 		path := opts.Topo.ReadPath(srcNode, node)
 		curReads[srcNode]++
 		if curReads[srcNode] > res.PeakConcurrentReads[srcNode] {
@@ -570,9 +630,20 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 		}
 	}
 
+	remaining := numProcs
 	finishProc = func(proc int) {
 		res.ProcFinish[proc] = net.Now() - start
 		finished[proc] = true
+		remaining--
+	}
+
+	// scheduleAdvisor arms the next advisory pass. Advisor timers are aux
+	// flows like the fault timers: they must not count as active work, or a
+	// recurring tick would keep a PollWait-answering source parked forever.
+	scheduleAdvisor := func() {
+		id := net.Start(nil, 0, opts.AdvisorInterval, fmt.Sprintf("advisor/t%d", res.AdvisorTicks))
+		inflight[id] = pending{kind: kindAdvisor}
+		auxTimers++
 	}
 
 	net.OnComplete(func(now float64, f *simnet.Flow) {
@@ -678,6 +749,19 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 			delete(degraded, pd.node)
 			opts.Topo.DegradeNode(pd.node, 1, 1)
 			maybeReplan(pd.node)
+		case kindAdvisor:
+			// Periodic placement-advisory pass: the advisor reads the access
+			// telemetry and may move replicas; a change makes a full replan
+			// of the pending backlog worthwhile (the new copies are placement
+			// truth the in-flight lists know nothing about).
+			auxTimers--
+			res.AdvisorTicks++
+			if opts.Advisor.Tick(now) {
+				maybeReplan(-1)
+			}
+			if remaining > 0 {
+				scheduleAdvisor()
+			}
 		}
 		// A completion may free up a task a waiting process was hoping for
 		// (or leave the cluster stalled, forcing the source's hand).
@@ -731,6 +815,9 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 			inflight[id] = pending{kind: kindRestore, node: d.Node, idx: i}
 			auxTimers++
 		}
+	}
+	if opts.Advisor != nil {
+		scheduleAdvisor()
 	}
 	// Whatever happens below, hand the shared topology back healthy: any
 	// degradation still in effect at exit (Until == 0, or an aborted run) is

@@ -56,17 +56,14 @@ type ClusterScheduler interface {
 	JobFinished(job int, servedMB []float64)
 }
 
-// ServingBalancer is an optional ClusterScheduler extension implementing
-// OS4M's operation-level balancing on the serving side: quota biasing can
-// only steer which process *owns* a task, but a task read remotely is
-// served by whichever replica holder the uniform HDFS pick lands on — load
-// the planner cannot place. When the scheduler also implements this
-// interface, RunJobsScheduled asks it to choose the holder for every
-// remote read and reports each read (local and remote) as it starts, so
-// the balancer can keep a live per-node serving tally. The balancer's
-// choice overrides the network-distance ordering of the default pick.
-type ServingBalancer interface {
-	ClusterScheduler
+// ReadSteerer chooses which replica holder serves each remote read — OS4M's
+// operation-level balancing on the serving side: quota biasing can only
+// steer which process *owns* a task, but a task read remotely is served by
+// whichever replica holder the uniform HDFS pick lands on — load the
+// planner cannot place. The steerer's choice overrides the network-distance
+// ordering of the default pick. Single-job runs honor it through
+// Options.Balancer; multi-job runs through a ServingBalancer scheduler.
+type ReadSteerer interface {
 	// PickRemote chooses the replica holder that should serve a remote
 	// read of sizeMB megabytes requested by a process on node reader.
 	// holders is non-empty, never contains reader, and must not be
@@ -75,6 +72,15 @@ type ServingBalancer interface {
 	PickRemote(reader int, holders []int, sizeMB float64) int
 	// ReadStarted reports that node is about to serve a sizeMB read.
 	ReadStarted(node int, sizeMB float64)
+}
+
+// ServingBalancer is an optional ClusterScheduler extension: when the
+// scheduler also implements ReadSteerer, RunJobsScheduled asks it to choose
+// the holder for every remote read and reports each read (local and remote)
+// as it starts, so the balancer can keep a live per-node serving tally.
+type ServingBalancer interface {
+	ClusterScheduler
+	ReadSteerer
 }
 
 // RunJobs executes every job concurrently on the shared topology and file
@@ -199,6 +205,7 @@ func RunJobsScheduled(ctx context.Context, topo *cluster.Topology, fs *dfs.FileS
 			}
 			balancer.ReadStarted(srcNode, in.SizeMB)
 		}
+		fs.RecordRead(in.Chunk, node, local, in.SizeMB, net.Now())
 		id := net.Start(topo.ReadPath(srcNode, node), in.SizeMB, topo.ReadLatency(srcNode),
 			fmt.Sprintf("j%d/p%d/t%d", j, proc, st.task))
 		inflight[id] = pend{kind: kindRead, key: key{j, proc}, rec: ReadRecord{

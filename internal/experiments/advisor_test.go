@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestAdvisorStudy runs the study small and checks the acceptance
+// properties the committed BENCH series quotes: the advised side converges
+// to a strictly better steady-state local fraction than static 3-way
+// replication without ever exceeding the static storage bill.
+func TestAdvisorStudy(t *testing.T) {
+	r, err := AdvisorStudy(Config{Seed: 7, Scale: 4}) // 8 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 8 || r.ChunksPer != 4 || r.Datasets != advisorDatasets {
+		t.Fatalf("unexpected shape: %+v", r)
+	}
+	rounds := advisorPhases * advisorRounds
+	for _, side := range []AdvisorSide{r.Static, r.Advised} {
+		if len(side.RoundLocal) != rounds {
+			t.Fatalf("%s has %d rounds, want %d", side.Label, len(side.RoundLocal), rounds)
+		}
+		for i, l := range side.RoundLocal {
+			if l < 0 || l > 1 {
+				t.Fatalf("%s round %d local fraction %v", side.Label, i, l)
+			}
+		}
+		if side.MakespanS <= 0 {
+			t.Fatalf("%s makespan %v", side.Label, side.MakespanS)
+		}
+	}
+	if r.Advised.SteadyLocal <= r.Static.SteadyLocal {
+		t.Fatalf("advised steady local %.3f not better than static %.3f",
+			r.Advised.SteadyLocal, r.Static.SteadyLocal)
+	}
+	if r.Advised.StoredMB > r.BudgetMB+1e-9 {
+		t.Fatalf("advised stored %v MB exceeds the static budget %v MB",
+			r.Advised.StoredMB, r.BudgetMB)
+	}
+	if r.Static.StoredMB != r.BudgetMB {
+		t.Fatalf("static stored %v MB, want the untouched %v MB", r.Static.StoredMB, r.BudgetMB)
+	}
+	if r.Ticks <= 0 || r.ReplicasAdded <= 0 || r.ReplicasRemoved <= 0 {
+		t.Fatalf("advisor idle: %+v", r)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

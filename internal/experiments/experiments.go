@@ -54,7 +54,7 @@ type StrategyResult struct {
 	Served   metrics.Summary // per-node served data (MB)
 	ServedMB []float64
 	IOTimes  []float64
-	Local float64 // fraction of bytes read locally
+	Local    float64 // fraction of bytes read locally
 	// Makespan is completion minus arrival — for staggered concurrent jobs
 	// this is the latency the job's owner observes, not the wall-clock end
 	// of the whole mix. Single runs arrive at 0, so nothing changes there.

@@ -30,6 +30,7 @@ import (
 	"context"
 	"fmt"
 
+	"opass/internal/advisor"
 	"opass/internal/cluster"
 	"opass/internal/core"
 	"opass/internal/delay"
@@ -289,6 +290,94 @@ func (rp *RedistributionPlan) Apply() error {
 // NodeFailure schedules a DataNode crash during a run (see RunOptions).
 type NodeFailure = engine.NodeFailure
 
+// AdvisorOptions tunes the adaptive replication advisor (NewAdvisor).
+type AdvisorOptions struct {
+	// HalfLife is the access-score decay half-life in seconds of virtual
+	// time; scores of past reads halve every HalfLife seconds. Default:
+	// roughly ten uncontended local chunk reads — long enough to see a
+	// workload's shape, short enough that last phase's heat goes stale.
+	HalfLife float64
+	// Interval is the advisory period in seconds of virtual time (default
+	// HalfLife/4).
+	Interval float64
+	// HotFactor / ColdFactor are the popularity-degree classification
+	// thresholds; MinReplicas / MaxReplicas bound per-chunk redundancy;
+	// BudgetMB caps the cluster's stored megabytes and MaxActions the
+	// replica changes per pass. Zero values take the advisor's defaults
+	// (see internal/advisor.Options).
+	HotFactor   float64
+	ColdFactor  float64
+	MinReplicas int
+	MaxReplicas int
+	BudgetMB    float64
+	MaxActions  int
+}
+
+// Advisor is the adaptive replication loop bound to one cluster: reads
+// recorded by runs feed its access accounting, and periodic passes during
+// advised runs re-point replicas at the demand (see RunOptions.Advisor).
+type Advisor struct {
+	inner    *advisor.Advisor
+	interval float64
+}
+
+// AdvisorStats reports an advisor's cumulative actions and the hot/warm/
+// cold classification at its last pass.
+type AdvisorStats struct {
+	Ticks           int
+	ReplicasAdded   int
+	ReplicasRemoved int
+	TargetsRaised   int
+	TargetsLowered  int
+	Hot, Warm, Cold int
+}
+
+// Stats returns the advisor's counters.
+func (a *Advisor) Stats() AdvisorStats {
+	st := a.inner.Stats()
+	return AdvisorStats{
+		Ticks:           st.Ticks,
+		ReplicasAdded:   st.ReplicasAdded,
+		ReplicasRemoved: st.ReplicasRemoved,
+		TargetsRaised:   st.TargetsRaised,
+		TargetsLowered:  st.TargetsLowered,
+		Hot:             st.Hot,
+		Warm:            st.Warm,
+		Cold:            st.Cold,
+	}
+}
+
+// NewAdvisor enables per-chunk access accounting on the cluster's file
+// system and builds a replication advisor over it. Pass the advisor to
+// RunWithOptions to let it adjust replication while plans execute; runs
+// without it still feed the accounting.
+func (c *Cluster) NewAdvisor(opts AdvisorOptions) (*Advisor, error) {
+	halfLife := opts.HalfLife
+	if halfLife == 0 {
+		halfLife = 10 * c.topo.UncontendedLocalRead(c.fs.Config().ChunkSizeMB)
+	}
+	interval := opts.Interval
+	if interval == 0 {
+		interval = halfLife / 4
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("opass: advisor interval %v must be positive", interval)
+	}
+	c.fs.EnableAccessStats(halfLife)
+	inner, err := advisor.New(c.fs, advisor.Options{
+		HotFactor:   opts.HotFactor,
+		ColdFactor:  opts.ColdFactor,
+		MinReplicas: opts.MinReplicas,
+		MaxReplicas: opts.MaxReplicas,
+		BudgetMB:    opts.BudgetMB,
+		MaxActions:  opts.MaxActions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{inner: inner, interval: interval}, nil
+}
+
 // RunOptions tune an execution.
 type RunOptions struct {
 	// ComputeTime, when non-nil, gives each task's post-read compute time
@@ -302,6 +391,11 @@ type RunOptions struct {
 	// Failures schedules DataNode crashes during the run; in-flight reads
 	// served by a crashed node fail over to surviving replicas.
 	Failures []NodeFailure
+	// Advisor, when non-nil, runs adaptive replication passes during the
+	// execution (static plans only): the advisor may add, remove or re-point
+	// replicas mid-run, and the not-yet-started backlog is re-matched
+	// against the new placement after every pass that changed something.
+	Advisor *Advisor
 }
 
 // Run executes a plan on the cluster and reports the trace statistics.
@@ -318,6 +412,15 @@ func (c *Cluster) RunWithOptions(p *Plan, opts RunOptions) (*Report, error) {
 		ComputeTime: opts.ComputeTime,
 		Failures:    opts.Failures,
 		Strategy:    string(p.Strategy),
+	}
+	if opts.Advisor != nil {
+		if p.Dynamic {
+			return nil, fmt.Errorf("opass: the replication advisor requires a static plan (dynamic backlogs cannot be re-matched)")
+		}
+		eopts.Advisor = opts.Advisor.inner
+		eopts.AdvisorInterval = opts.Advisor.interval
+		eopts.Replan = true
+		eopts.ReplanSeed = c.seed
 	}
 	var (
 		res *engine.Result

@@ -344,3 +344,48 @@ func TestRunConcurrent(t *testing.T) {
 		t.Fatalf("opass locality %v under co-running job", reports[0].LocalFraction)
 	}
 }
+
+func TestFacadeAdvisor(t *testing.T) {
+	c, err := NewClusterWithOptions(8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("/hot", 8*4*64); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store("/cold", 8*4*64); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := c.NewAdvisor(AdvisorOptions{Interval: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.PlanSingleData(StrategyOpass, "/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := c.FS().TotalStoredMB()
+	for i := 0; i < 3; i++ {
+		rep, err := c.RunWithOptions(plan, RunOptions{Advisor: adv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TasksRun != 32 {
+			t.Fatalf("run %d executed %d tasks", i, rep.TasksRun)
+		}
+	}
+	st := adv.Stats()
+	if st.Ticks == 0 {
+		t.Fatal("advisor never ticked across three runs")
+	}
+	if got := c.FS().TotalStoredMB(); got > budget+1e-9 {
+		t.Fatalf("stored %v MB exceeds the initial %v MB", got, budget)
+	}
+	if problems := c.FS().Fsck(); len(problems) != 0 {
+		t.Fatalf("fsck after advised runs: %v", problems)
+	}
+	// Dynamic plans have no re-matchable backlog; the advisor is refused.
+	if _, err := c.RunWithOptions(plan.AsDynamic(), RunOptions{Advisor: adv}); err == nil {
+		t.Fatal("advisor accepted a dynamic plan")
+	}
+}
