@@ -224,6 +224,15 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(r.Render())
+		if benchJSONPath != "" {
+			wrap := struct {
+				Racks *experiments.RackStudyResult `json:"racks"`
+			}{r}
+			if err := mergeBenchJSON(benchJSONPath, wrap); err != nil {
+				return err
+			}
+			fmt.Printf("(wrote %s)\n", benchJSONPath)
+		}
 	case "faults":
 		r, err := experiments.FaultTolerance(cfg)
 		if err != nil {

@@ -281,10 +281,11 @@ func (a *Advisor) trimCold(cold []chunkState) bool {
 }
 
 // promoteHot raises the replication of the hottest remote-heavy chunks, up
-// to MaxActions and within the storage budget. Each new copy lands on the
-// node whose processes pulled the most remote megabytes (the head of
-// RemoteReaders); when every remote reader already holds a copy or is dead,
-// the least-loaded live non-holder serves as fallback.
+// to MaxActions and within the storage budget. On a multi-rack cluster each
+// new copy lands in the hottest remote *rack* lacking one (see
+// promotionTarget); otherwise it lands on the node whose processes pulled
+// the most remote megabytes (the head of RemoteReaders), with the
+// least-loaded live non-holder as fallback.
 func (a *Advisor) promoteHot(hot []chunkState, now float64) bool {
 	sort.Slice(hot, func(i, j int) bool {
 		if hot[i].st.RemoteMB != hot[j].st.RemoteMB {
@@ -314,20 +315,7 @@ func (a *Advisor) promoteHot(hot []chunkState, now float64) bool {
 		if a.fs.TotalStoredMB()+ch.SizeMB > a.opts.BudgetMB {
 			continue // a smaller hot chunk later in the list may still fit
 		}
-		dst := -1
-		for _, n := range a.fs.RemoteReaders(c.id, now) {
-			if alive[n] && !ch.HostedOn(n) {
-				dst = n
-				break
-			}
-		}
-		if dst < 0 {
-			for _, n := range live {
-				if !ch.HostedOn(n) && (dst < 0 || a.fs.StoredMB(n) < a.fs.StoredMB(dst)) {
-					dst = n
-				}
-			}
-		}
+		dst := a.promotionTarget(c.id, ch, alive, live, now)
 		if dst < 0 {
 			continue
 		}
@@ -348,6 +336,88 @@ func (a *Advisor) promoteHot(hot []chunkState, now float64) bool {
 		actions++
 	}
 	return changed
+}
+
+// promotionTarget picks the node to host a hot chunk's new copy. On a
+// multi-rack cluster the copy goes to the hottest remote rack lacking a
+// replica — the rack whose readers pull the most decayed remote megabytes
+// and where a single copy converts every member's reads from cross-rack to
+// rack-local (the HDFS-policy notion of rack spread, driven by demand
+// instead of by writes). Within that rack the hottest live remote reader
+// wins, falling back to the rack's least-loaded live non-holder. When
+// every rack with demand already holds a copy — always true on a
+// single-rack cluster — the rack-oblivious rule applies unchanged: the
+// hottest live remote reader anywhere, else the least-loaded live
+// non-holder. Returns -1 when no node can take a copy.
+func (a *Advisor) promotionTarget(id dfs.ChunkID, ch *dfs.Chunk, alive map[int]bool, live []int, now float64) int {
+	view := a.fs.View()
+	if demand := a.fs.RemoteReadMB(id, now); len(demand) > 0 && multiRack(view) {
+		rackDemand := make(map[int]float64)
+		for n, mb := range demand {
+			if n >= 0 && n < view.NumNodes() {
+				rackDemand[view.RackOf(n)] += mb
+			}
+		}
+		for _, r := range ch.Replicas {
+			if r >= 0 && r < view.NumNodes() {
+				delete(rackDemand, view.RackOf(r))
+			}
+		}
+		// Deterministic over map iteration order: most demand wins, ties by
+		// lowest rack id.
+		bestRack, bestMB := -1, 0.0
+		for r, mb := range rackDemand {
+			if bestRack < 0 || mb > bestMB || (mb == bestMB && r < bestRack) {
+				bestRack, bestMB = r, mb
+			}
+		}
+		if bestRack >= 0 {
+			dst := -1
+			for _, n := range a.fs.RemoteReaders(id, now) {
+				if alive[n] && !ch.HostedOn(n) && n < view.NumNodes() && view.RackOf(n) == bestRack {
+					dst = n
+					break
+				}
+			}
+			if dst < 0 {
+				for _, n := range live {
+					if view.RackOf(n) == bestRack && !ch.HostedOn(n) &&
+						(dst < 0 || a.fs.StoredMB(n) < a.fs.StoredMB(dst)) {
+						dst = n
+					}
+				}
+			}
+			if dst >= 0 {
+				return dst
+			}
+		}
+	}
+	dst := -1
+	for _, n := range a.fs.RemoteReaders(id, now) {
+		if alive[n] && !ch.HostedOn(n) {
+			dst = n
+			break
+		}
+	}
+	if dst < 0 {
+		for _, n := range live {
+			if !ch.HostedOn(n) && (dst < 0 || a.fs.StoredMB(n) < a.fs.StoredMB(dst)) {
+				dst = n
+			}
+		}
+	}
+	return dst
+}
+
+// multiRack reports whether the view spans more than one rack.
+func multiRack(view dfs.ClusterView) bool {
+	n := view.NumNodes()
+	for i := 1; i < n; i++ {
+		if view.RackOf(i) != view.RackOf(0) {
+			return true
+		}
+	}
+	return false
 }
 
 func (a *Advisor) count(name string) {

@@ -170,24 +170,78 @@ func (t *Topology) LocalReadPath(node int) []simnet.ResourceID {
 	return []simnet.ResourceID{t.disk[node]}
 }
 
+// RackNodes returns the members of rack r, node-ascending.
+func (t *Topology) RackNodes(r int) []int {
+	if r < 0 || r >= t.racks {
+		panic(fmt.Sprintf("cluster: rack %d out of range [0,%d)", r, t.racks))
+	}
+	var nodes []int
+	for i := 0; i < t.n; i++ {
+		if t.RackOf(i) == r {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
+}
+
 // SetRackUplinks installs oversubscribed rack uplinks of the given
 // bandwidth per direction: every cross-rack read additionally traverses the
 // source rack's outbound uplink and the destination rack's inbound uplink,
 // so racks contend for their shared links to the core switch. Call before
 // running traffic; it panics when the topology has a single rack.
 func (t *Topology) SetRackUplinks(uplinkMBps float64) {
+	if uplinkMBps <= 0 {
+		panic(fmt.Sprintf("cluster: uplink bandwidth %v must be positive", uplinkMBps))
+	}
+	per := make([]float64, t.racks)
+	for r := range per {
+		per[r] = uplinkMBps
+	}
+	t.SetPerRackUplinks(per)
+}
+
+// SetPerRackUplinks installs rack uplinks with an individual bandwidth per
+// rack (one value per rack, both directions) — the shape
+// SetRackOversubscription needs when racks have unequal member counts.
+// Panics when the topology has a single rack or any bandwidth is
+// non-positive.
+func (t *Topology) SetPerRackUplinks(uplinkMBps []float64) {
 	if t.racks <= 1 {
 		panic("cluster: rack uplinks need at least two racks")
 	}
-	if uplinkMBps <= 0 {
-		panic(fmt.Sprintf("cluster: uplink bandwidth %v must be positive", uplinkMBps))
+	if len(uplinkMBps) != t.racks {
+		panic(fmt.Sprintf("cluster: %d uplink bandwidths for %d racks", len(uplinkMBps), t.racks))
 	}
 	t.uplinkOut = make([]simnet.ResourceID, t.racks)
 	t.uplinkIn = make([]simnet.ResourceID, t.racks)
 	for r := 0; r < t.racks; r++ {
-		t.uplinkOut[r] = t.net.AddResource(fmt.Sprintf("rack%d/uplink-out", r), uplinkMBps, 0)
-		t.uplinkIn[r] = t.net.AddResource(fmt.Sprintf("rack%d/uplink-in", r), uplinkMBps, 0)
+		bw := uplinkMBps[r]
+		if bw <= 0 {
+			panic(fmt.Sprintf("cluster: rack %d uplink bandwidth %v must be positive", r, bw))
+		}
+		t.uplinkOut[r] = t.net.AddResource(fmt.Sprintf("rack%d/uplink-out", r), bw, 0)
+		t.uplinkIn[r] = t.net.AddResource(fmt.Sprintf("rack%d/uplink-in", r), bw, 0)
 	}
+}
+
+// SetRackOversubscription installs uplinks sized at each rack's aggregate
+// NIC bandwidth divided by ratio: ratio 1 gives a non-blocking fabric (the
+// uplink exactly matches what the rack's nodes can push), ratio 4 the
+// classic 4:1 oversubscribed core. Every rack is sized from its actual
+// member list — uneven racks (nodes % racks != 0) get proportionally
+// different uplinks.
+func (t *Topology) SetRackOversubscription(ratio float64) {
+	if ratio <= 0 {
+		panic(fmt.Sprintf("cluster: oversubscription ratio %v must be positive", ratio))
+	}
+	per := make([]float64, t.racks)
+	for i := 0; i < t.n; i++ {
+		per[t.RackOf(i)] += t.profiles[i].NICMBps
+	}
+	for r := range per {
+		per[r] /= ratio
+	}
+	t.SetPerRackUplinks(per)
 }
 
 // HasRackUplinks reports whether cross-rack traffic is bandwidth-limited.

@@ -54,5 +54,18 @@ func (p *Problem) AppendCanonical(b []byte) []byte {
 			}
 		}
 	}
+	// The rack map enters the encoding only when it can influence a plan
+	// (multi-rack): a nil map and a single-rack map plan identically, so
+	// they share an encoding, while two problems differing only in a
+	// multi-rack layout get distinct fingerprints. Appending a suffix
+	// cannot alias an encoding without one: the prefix parse up to here is
+	// unambiguous, so equal byte strings imply equal problems and equal
+	// total lengths.
+	if p.RackTiered() {
+		put(uint64(len(p.NodeRack)))
+		for _, r := range p.NodeRack {
+			put(uint64(r))
+		}
+	}
 	return b
 }

@@ -63,8 +63,10 @@ func (s *DynamicScheduler) Next(proc int) (task int, ok bool) {
 		return task, true
 	}
 	// Rule 3: steal from the longest remaining list the task with the most
-	// data co-located with proc. Ties on list length and on co-located size
-	// break toward lower indices for determinism.
+	// data co-located with proc, breaking node-tier ties by rack-local
+	// bytes (zero on single-rack problems, so the rack term never changes
+	// a rack-oblivious steal). Ties on list length and on both tiers break
+	// toward lower indices for determinism.
 	longest := -1
 	for k := range s.lists {
 		if longest == -1 || len(s.lists[k]) > len(s.lists[longest]) {
@@ -74,10 +76,12 @@ func (s *DynamicScheduler) Next(proc int) (task int, ok bool) {
 	if longest == -1 || len(s.lists[longest]) == 0 {
 		return 0, false
 	}
-	bestIdx, bestW := 0, -1.0
+	bestIdx, bestW, bestR := 0, -1.0, -1.0
 	for i, t := range s.lists[longest] {
-		if w := s.ix.CoLocatedMB(proc, t); w > bestW {
-			bestIdx, bestW = i, w
+		w := s.ix.CoLocatedMB(proc, t)
+		r := s.ix.RackCoLocatedMB(proc, t)
+		if w > bestW || (w == bestW && r > bestR) {
+			bestIdx, bestW, bestR = i, w, r
 		}
 	}
 	task = s.lists[longest][bestIdx]

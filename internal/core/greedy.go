@@ -94,6 +94,16 @@ func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignm
 		}
 	}
 
+	// Rack tier: steer leftover tasks to rack-local under-quota processes
+	// before the random repair. The index is only built when the problem
+	// spans racks — the greedy hot path stays index-free otherwise.
+	if p.RackTiered() {
+		ix, err := NewLocalityIndexContext(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		rackRepairCounts(p, ix, owner)
+	}
 	rng := rand.New(rand.NewSource(g.Seed))
 	repairUnmatched(p, owner, rng)
 

@@ -39,6 +39,11 @@ type LocalityIndex struct {
 	byTask [][]LocalityEdge // task -> edges, Proc-ascending
 	byProc [][]LocalityEdge // proc -> edges, Task-ascending
 	edges  int
+
+	// Rack tier (see rack.go): built only for rack-tiered problems.
+	rackTiered bool
+	byTaskRack [][]LocalityEdge // task -> rack-local edges, Proc-ascending
+	rackEdges  int
 }
 
 // indexParallelThreshold is the task count below which the index builds
@@ -193,6 +198,9 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 			backing[pos[e.Proc]] = e
 			pos[e.Proc]++
 		}
+	}
+	if err := ix.buildRackTier(ctx); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }

@@ -174,6 +174,20 @@ func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 			}
 		}
 		if best < 0 || bestW <= 0 {
+			// Rack tier: no under-quota process holds any of the task's
+			// data node-locally, so try rack-local holders before falling
+			// back to a blind random pick. Empty on single-rack problems,
+			// keeping rack-oblivious runs byte-identical.
+			for _, e := range ix.TaskRackEdges(t) {
+				if counts[e.Proc] >= quotas[e.Proc] {
+					continue
+				}
+				if w := biasOf(e.Proc) * e.MB; w > bestW {
+					best, bestW = e.Proc, w
+				}
+			}
+		}
+		if best < 0 || bestW <= 0 {
 			if proc := pickSmallest(loadMB, counts, quotas, rng); proc >= 0 {
 				best = proc
 			} else if best < 0 {

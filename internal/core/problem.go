@@ -50,6 +50,14 @@ type Problem struct {
 	Tasks []Task
 	// FS supplies chunk placement (the namenode metadata Opass queries).
 	FS *dfs.FileSystem
+	// NodeRack, when non-nil, maps each cluster node to its rack id. It
+	// enables the graded-locality tier (node-local > rack-local > remote)
+	// in the planners: tasks the locality solver leaves unmatched are
+	// steered to a process in a rack holding their data before the random
+	// repair step crosses an uplink. Nil — or a map spanning a single rack,
+	// the paper's one-switch topology — disables the tier entirely, keeping
+	// plans byte-identical to the rack-oblivious planner.
+	NodeRack []int
 }
 
 // Validate checks structural consistency; planners call it first.
@@ -73,6 +81,18 @@ func (p *Problem) Validate() error {
 		for _, in := range t.Inputs {
 			if in.SizeMB <= 0 {
 				return fmt.Errorf("core: task %d input chunk %d has size %v", i, in.Chunk, in.SizeMB)
+			}
+		}
+	}
+	if p.NodeRack != nil {
+		for i, node := range p.ProcNode {
+			if node < 0 || node >= len(p.NodeRack) {
+				return fmt.Errorf("core: node rack map covers %d nodes but process %d runs on node %d", len(p.NodeRack), i, node)
+			}
+		}
+		for node, r := range p.NodeRack {
+			if r < 0 {
+				return fmt.Errorf("core: node %d has negative rack %d", node, r)
 			}
 		}
 	}

@@ -151,6 +151,17 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 	for t, o := range owner {
 		matched[t] = o >= 0
 	}
+	// Rack tier: before the random repair crosses an uplink, hand unmatched
+	// tasks to an under-quota process in a rack that holds their data. The
+	// node-local solve above is untouched, and on single-rack problems this
+	// is a structural no-op (no rack edges exist), so rack-oblivious plans
+	// stay byte-identical. Rack-steered owners stay Matched=false: they are
+	// repair decisions, not solver matches, and must not seed warm starts.
+	if weights == nil {
+		rackRepairCounts(p, ix, owner)
+	} else {
+		rackRepairWeighted(p, ix, owner, quotasMB)
+	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	if weights == nil {
 		repairUnmatched(p, owner, rng)

@@ -170,6 +170,31 @@ func (fs *FileSystem) RemoteReaders(id ChunkID, now float64) []int {
 	return nodes
 }
 
+// RemoteReadMB returns the decayed remote megabytes each node pulled from
+// the chunk at simulated time now, as a fresh map the caller may mutate.
+// The rack-aware advisor aggregates it per rack to find the hottest remote
+// rack lacking a copy. Nil when access accounting is off or nothing remote
+// was recorded.
+func (fs *FileSystem) RemoteReadMB(id ChunkID, now float64) map[int]float64 {
+	a := fs.access
+	if a == nil {
+		return nil
+	}
+	e := a.entries[id]
+	if e == nil || len(e.remoteBy) == 0 {
+		return nil
+	}
+	e.decayTo(now, a.halfLife)
+	if len(e.remoteBy) == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(e.remoteBy))
+	for n, mb := range e.remoteBy {
+		out[n] = mb
+	}
+	return out
+}
+
 // SetReplicationTarget sets the chunk's replication target — the HDFS
 // setrep call as a pure metadata operation. Unlike AddReplica/RemoveReplica
 // (which move the target implicitly as copies appear and vanish) this only

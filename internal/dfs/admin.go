@@ -65,14 +65,14 @@ func (fs *FileSystem) Decommission(node int) (moved int, err error) {
 			}
 		}
 		c.Replicas = out
-		// Re-replicate onto a random live node without a copy.
-		candidates := filter(live, func(n int) bool { return !c.HostedOn(n) })
-		if len(candidates) == 0 {
+		// Re-replicate onto a live node without a copy, restoring rack
+		// diversity when the topology spans racks.
+		dst := fs.repairTarget(c, live)
+		if dst < 0 {
 			// Cluster smaller than the replication factor; accept the
 			// reduced redundancy, as HDFS does.
 			continue
 		}
-		dst := candidates[fs.rng.Intn(len(candidates))]
 		c.Replicas = append(c.Replicas, dst)
 		sort.Ints(c.Replicas)
 		fs.perNode[dst] = append(fs.perNode[dst], id)
@@ -121,6 +121,34 @@ func (fs *FileSystem) Crash(node int) (underReplicated, lost []ChunkID, err erro
 	return underReplicated, lost, nil
 }
 
+// repairTarget picks the destination for a new copy of c: a live node
+// without one, preferring nodes in racks that do not yet hold a replica so
+// repair restores the rack diversity the placement policy established
+// (HDFS's replication monitor applies the same spread rule). Exactly one
+// random draw happens per pick, so on single-rack clusters — where the
+// preferred pool is always empty — both the choice and the RNG stream are
+// identical to the old rack-oblivious pick. Returns -1 when every live node
+// already holds a copy.
+func (fs *FileSystem) repairTarget(c *Chunk, live []int) int {
+	candidates := filter(live, func(n int) bool { return !c.HostedOn(n) })
+	if len(candidates) == 0 {
+		return -1
+	}
+	pool := filter(candidates, func(n int) bool {
+		r := fs.view.RackOf(n)
+		for _, rep := range c.Replicas {
+			if fs.view.RackOf(rep) == r {
+				return false
+			}
+		}
+		return true
+	})
+	if len(pool) == 0 {
+		pool = candidates
+	}
+	return pool[fs.rng.Intn(len(pool))]
+}
+
 // ReReplicate works through the namenode's needed-replications queue: every
 // chunk below its replication target gains copies from surviving holders
 // onto live nodes without one, until the target (or the live-node count) is
@@ -136,11 +164,10 @@ func (fs *FileSystem) ReReplicate() (repaired int) {
 		}
 		added := false
 		for len(c.Replicas) < c.target {
-			candidates := filter(live, func(n int) bool { return !c.HostedOn(n) })
-			if len(candidates) == 0 {
+			dst := fs.repairTarget(c, live)
+			if dst < 0 {
 				break // cluster smaller than the factor; accept reduced redundancy
 			}
-			dst := candidates[fs.rng.Intn(len(candidates))]
 			c.Replicas = append(c.Replicas, dst)
 			sort.Ints(c.Replicas)
 			fs.perNode[dst] = append(fs.perNode[dst], c.ID)

@@ -161,6 +161,11 @@ func New(view ClusterView, cfg Config) *FileSystem {
 // Config returns the (defaulted) configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
+// View returns the cluster view the file system was built over — node
+// count and rack map. Rack-aware consumers (the replication advisor, the
+// planners' NodeRack plumbing) read topology through it.
+func (fs *FileSystem) View() ClusterView { return fs.view }
+
 // Epoch is a monotonic placement-version counter: every operation that
 // changes which replicas live where — or which nodes may host them — bumps
 // it (writes, deletes, replica add/remove/move, node add/remove, the

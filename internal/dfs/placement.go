@@ -56,11 +56,13 @@ func (p RackAwarePlacement) Place(rng *rand.Rand, view ClusterView, live []int, 
 	}
 
 	first := p.Writer
-	if first < 0 {
+	if first < 0 || !contains(live, first) {
+		// No writer pinned, or the pinned writer is dead/out of range:
+		// rotate over chunks either way. Falling back to a random node
+		// would silently break the rotating-writer determinism callers
+		// rely on (and consume an extra RNG draw, shifting every later
+		// placement decision).
 		first = live[c.Index%len(live)]
-	}
-	if !contains(live, first) {
-		first = live[rng.Intn(len(live))]
 	}
 	chosen = append(chosen, first)
 	used[first] = true

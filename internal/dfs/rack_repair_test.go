@@ -1,0 +1,87 @@
+package dfs
+
+import "testing"
+
+func rackSpread(v view, c *Chunk) map[int]bool {
+	m := map[int]bool{}
+	for _, n := range c.Replicas {
+		m[v.RackOf(n)] = true
+	}
+	return m
+}
+
+// TestReReplicateRestoresRackDiversity: under the HDFS placement policy a
+// chunk's replicas span at least two racks. When the first replica's node
+// crashes, the two survivors sit in ONE rack (second and third replicas
+// share a rack by construction), and a repair that picks a uniformly
+// random live target — the old behavior — has a good chance of landing in
+// that same rack, silently losing the fault domain. The topology-aware
+// chooser must restore the spread for every chunk, deterministically.
+func TestReReplicateRestoresRackDiversity(t *testing.T) {
+	v := rackedView(12, 3)
+	fs := New(v, Config{Seed: 5, Placement: RackAwarePlacement{Writer: -1}, Replication: 3})
+	if _, err := fs.Create("/data", 64*40); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fs.NumChunks(); i++ {
+		if len(rackSpread(v, fs.Chunk(ChunkID(i)))) < 2 {
+			t.Fatalf("placement sanity: chunk %d spans one rack", i)
+		}
+	}
+	victim := fs.Chunk(0).Replicas[0]
+	under, _, err := fs.Crash(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(under) == 0 {
+		t.Fatal("crash left nothing under-replicated; scenario exercises nothing")
+	}
+	if repaired := fs.ReReplicate(); repaired != len(under) {
+		t.Fatalf("repaired %d chunks, want %d", repaired, len(under))
+	}
+	for i := 0; i < fs.NumChunks(); i++ {
+		c := fs.Chunk(ChunkID(i))
+		if len(c.Replicas) != 3 {
+			t.Fatalf("chunk %d has %d replicas after repair, want 3", i, len(c.Replicas))
+		}
+		if c.HostedOn(victim) {
+			t.Fatalf("chunk %d still lists the crashed node %d", i, victim)
+		}
+		if len(rackSpread(v, c)) < 2 {
+			t.Fatalf("chunk %d replicas %v collapsed into one rack after repair", i, c.Replicas)
+		}
+	}
+}
+
+// TestRackAwarePlacementDeadWriterFallsBackToRotation: a pinned Writer
+// that is dead or out of range must fall back to the chunk-index rotation,
+// not to a random live node — randomness there breaks the deterministic
+// writer rotation and shifts every later placement draw.
+func TestRackAwarePlacementDeadWriterFallsBackToRotation(t *testing.T) {
+	for _, writer := range []int{3, 99} {
+		v := rackedView(8, 2)
+		fs := New(v, Config{Seed: 9, Placement: RackAwarePlacement{Writer: writer}, Replication: 3})
+		if writer < v.NumNodes() {
+			if _, _, err := fs.Crash(writer); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := fs.Create("/data", 64*20); err != nil {
+			t.Fatal(err)
+		}
+		live := fs.LiveNodes()
+		for i := 0; i < fs.NumChunks(); i++ {
+			c := fs.Chunk(ChunkID(i))
+			// Replicas are stored sorted, so assert membership: the
+			// rotation node must hold a copy of its chunk.
+			want := live[c.Index%len(live)]
+			if !c.HostedOn(want) {
+				t.Fatalf("writer=%d: chunk %d replicas %v miss rotation node %d",
+					writer, i, c.Replicas, want)
+			}
+			if writer < v.NumNodes() && c.HostedOn(writer) {
+				t.Fatalf("writer=%d: chunk %d placed on the dead writer", writer, i)
+			}
+		}
+	}
+}

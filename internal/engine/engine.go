@@ -291,6 +291,14 @@ type Result struct {
 	RepairedChunks int
 	// AdvisorTicks counts placement-advisor passes fired during the run.
 	AdvisorTicks int
+	// RackLocalMB / CrossRackMB split the remote read traffic by rack
+	// boundary: a remote read served within the reader's rack counts as
+	// rack-local, one whose source and destination racks differ as
+	// cross-rack (the bytes that traverse an uplink on an oversubscribed
+	// fabric). Local reads count toward neither. On a single-rack topology
+	// every remote byte is rack-local.
+	RackLocalMB float64
+	CrossRackMB float64
 }
 
 // JobMakespan is the job's execution time measured from its own arrival
@@ -660,6 +668,13 @@ func RunContext(ctx context.Context, opts Options, src TaskSource) (*Result, err
 			curReads[rec.SrcNode]--
 			res.Records = append(res.Records, rec)
 			res.ServedMB[rec.SrcNode] += rec.SizeMB
+			if !rec.Local {
+				if opts.Topo.RackOf(rec.SrcNode) == opts.Topo.RackOf(rec.DstNode) {
+					res.RackLocalMB += rec.SizeMB
+				} else {
+					res.CrossRackMB += rec.SizeMB
+				}
+			}
 			st := &states[proc]
 			st.input++
 			if st.input < len(p.Tasks[st.task].Inputs) {

@@ -315,6 +315,13 @@ func RunJobsScheduled(ctx context.Context, topo *cluster.Topology, fs *dfs.FileS
 			rec.End = now - start
 			rt.res.Records = append(rt.res.Records, rec)
 			rt.res.ServedMB[rec.SrcNode] += rec.SizeMB
+			if !rec.Local {
+				if topo.RackOf(rec.SrcNode) == topo.RackOf(rec.DstNode) {
+					rt.res.RackLocalMB += rec.SizeMB
+				} else {
+					rt.res.CrossRackMB += rec.SizeMB
+				}
+			}
 			st := &rt.states[proc]
 			st.input++
 			if st.input < len(rt.spec.Problem.Tasks[st.task].Inputs) {

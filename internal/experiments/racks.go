@@ -12,41 +12,64 @@ import (
 
 // RackRow is one cell of the rack-topology study.
 type RackRow struct {
-	Placement string
-	Strategy  string
-	Makespan  float64
-	AvgIO     float64
-	Local     float64
+	Placement string  `json:"placement"`
+	Strategy  string  `json:"strategy"`
+	Makespan  float64 `json:"makespan"`
+	AvgIO     float64 `json:"avg_io"`
+	Local     float64 `json:"local"`
 	// CrossRack is the fraction of bytes that crossed the oversubscribed
 	// rack uplinks.
-	CrossRack float64
+	CrossRack float64 `json:"cross_rack"`
+}
+
+// RackSweepRow is one arm of the makespan-vs-oversubscription sweep: a
+// single matcher (rack-oblivious or rack-tiered) run at one uplink ratio
+// over a placement identical to its counterpart's.
+type RackSweepRow struct {
+	// Ratio is the rack oversubscription (aggregate NIC : uplink), so 1
+	// means a non-blocking fabric and 8 a heavily constrained one.
+	Ratio    float64 `json:"ratio"`
+	Matcher  string  `json:"matcher"`
+	Makespan float64 `json:"makespan"`
+	Local    float64 `json:"local"`
+	// RackLocalMB / CrossRackMB split the remote bytes by rack boundary
+	// (engine accounting; local reads count toward neither).
+	RackLocalMB float64 `json:"rack_local_mb"`
+	CrossRackMB float64 `json:"cross_rack_mb"`
 }
 
 // RackStudyResult holds the oversubscribed-fabric experiment.
 type RackStudyResult struct {
-	Nodes, Racks int
-	UplinkMBps   float64
-	Rows         []RackRow
+	Nodes int `json:"nodes"`
+	Racks int `json:"racks"`
+	// UplinkMBps is rack 0's uplink bandwidth at the grid's 4:1
+	// oversubscription (racks may differ slightly when nodes % racks != 0).
+	UplinkMBps float64        `json:"uplink_mbps"`
+	Rows       []RackRow      `json:"rows"`
+	Sweep      []RackSweepRow `json:"sweep"`
 }
 
 // RackTopology extends the paper's single-switch setting to a multi-rack
-// fabric with 4:1 oversubscribed uplinks. Two findings: rack-aware
-// placement does NOT help the locality-oblivious baseline's reads — by
-// concentrating replicas in two racks it makes a random reader's rack hold
-// a copy less often than fully random placement does (the policy optimizes
-// writes and fault domains, not reads) — while Opass makes the fabric
-// question moot: everything is node-local and the uplinks sit idle.
+// fabric with oversubscribed uplinks. The 4:1 grid shows two findings:
+// rack-aware placement does NOT help the locality-oblivious baseline's
+// reads — by concentrating replicas in two racks it makes a random reader's
+// rack hold a copy less often than fully random placement does (the policy
+// optimizes writes and fault domains, not reads) — while Opass makes the
+// fabric question moot: everything is node-local and the uplinks sit idle.
+//
+// The sweep then isolates the graded locality tier: at each
+// oversubscription ratio the rack-oblivious and rack-tiered SingleData
+// matchers plan over byte-identical placements of unreplicated data (where
+// full node-local matching is impossible), and the engine's rack byte split
+// shows how much traffic the tier keeps off the uplinks.
 func RackTopology(cfg Config) (*RackStudyResult, error) {
 	nodes := cfg.scale(64)
 	racks := 4
 	if nodes < 8 {
 		racks = 2
 	}
-	perRack := nodes / racks
-	// 4:1 oversubscription of the rack's aggregate NIC bandwidth.
-	uplink := float64(perRack) * cluster.Marmot().NICMBps / 4
 
-	out := &RackStudyResult{Nodes: nodes, Racks: racks, UplinkMBps: uplink}
+	out := &RackStudyResult{Nodes: nodes, Racks: racks}
 	type combo struct {
 		placementName string
 		placement     dfs.Placement
@@ -60,7 +83,16 @@ func RackTopology(cfg Config) (*RackStudyResult, error) {
 	}
 	for _, c := range combos {
 		topo := cluster.NewRacked(nodes, racks, cluster.Marmot())
-		topo.SetRackUplinks(uplink)
+		// Size each rack's uplink from its actual member count; with
+		// nodes % racks != 0 a uniform nodes/racks sizing both truncates
+		// and misattributes bandwidth across the uneven racks.
+		topo.SetRackOversubscription(4)
+		if out.UplinkMBps == 0 {
+			for _, n := range topo.RackNodes(0) {
+				out.UplinkMBps += topo.NodeProfile(n).NICMBps
+			}
+			out.UplinkMBps /= 4
+		}
 		fs := dfs.New(topo, dfs.Config{Seed: cfg.Seed, Placement: c.placement})
 		if _, err := fs.Create("/dataset", float64(nodes*10*64)); err != nil {
 			return nil, err
@@ -94,19 +126,95 @@ func RackTopology(cfg Config) (*RackStudyResult, error) {
 		for _, d := range res.IOTimes() {
 			io += d
 		}
+		avgIO, crossFrac := 0.0, 0.0
+		if len(res.Records) > 0 {
+			avgIO = io / float64(len(res.Records))
+		}
+		if total > 0 {
+			crossFrac = cross / total
+		}
 		out.Rows = append(out.Rows, RackRow{
 			Placement: c.placementName,
 			Strategy:  c.assigner.Name(),
 			Makespan:  res.Makespan,
-			AvgIO:     io / float64(len(res.Records)),
+			AvgIO:     avgIO,
 			Local:     res.LocalFraction(),
-			CrossRack: cross / total,
+			CrossRack: crossFrac,
 		})
+	}
+
+	// Oversubscription sweep: rack-oblivious vs rack-tiered SingleData over
+	// identical placement. The cluster has a storage tier — a quarter of
+	// the nodes hold the unreplicated dataset on fast disks behind bonded
+	// NICs — so three quarters of the reads are remote by construction and
+	// the matchers differ exactly where the tier acts: the overflow either
+	// lands on a process in the rack that holds the data (rack-local) or on
+	// whichever process is idle (usually across an uplink).
+	storage := nodes / 4
+	if storage < racks {
+		storage = racks
+	}
+	profiles := make([]cluster.Profile, nodes)
+	for i := range profiles {
+		profiles[i] = cluster.Marmot()
+		if i < storage {
+			profiles[i].DiskMBps = 300      // flash storage server
+			profiles[i].DiskSeekPenalty = 0 // no head-seek interference
+			profiles[i].NICMBps = 234       // 2x bonded NICs
+		}
+	}
+	rows := make([][]int, nodes*10)
+	for i := range rows {
+		rows[i] = []int{i % storage}
+	}
+	for _, ratio := range []float64{1, 2, 4, 8} {
+		for _, tiered := range []bool{false, true} {
+			topo := cluster.NewHeterogeneousRacked(profiles, racks)
+			topo.SetRackOversubscription(ratio)
+			fs := dfs.New(topo, dfs.Config{
+				Seed: cfg.Seed, Placement: dfs.FixedPlacement{Replicas: rows}, Replication: 1,
+			})
+			if _, err := fs.Create("/dataset", float64(nodes*10*64)); err != nil {
+				return nil, err
+			}
+			procNode := make([]int, nodes)
+			for i := range procNode {
+				procNode[i] = i
+			}
+			prob, err := core.SingleDataProblem(fs, []string{"/dataset"}, procNode)
+			if err != nil {
+				return nil, err
+			}
+			matcher := "rack-oblivious"
+			if tiered {
+				prob.SetNodeRacksFromView(topo)
+				matcher = "rack-tiered"
+			}
+			asg := core.SingleData{Seed: cfg.Seed}
+			a, err := asg.Assign(prob)
+			if err != nil {
+				return nil, err
+			}
+			res, err := engine.RunAssignment(engine.Options{
+				Topo: topo, FS: fs, Problem: prob, Strategy: asg.Name(),
+			}, a)
+			if err != nil {
+				return nil, err
+			}
+			out.Sweep = append(out.Sweep, RackSweepRow{
+				Ratio:       ratio,
+				Matcher:     matcher,
+				Makespan:    res.Makespan,
+				Local:       res.LocalFraction(),
+				RackLocalMB: res.RackLocalMB,
+				CrossRackMB: res.CrossRackMB,
+			})
+		}
 	}
 	return out, nil
 }
 
-// Render prints the rack study grid.
+// Render prints the rack study grid and the oversubscription sweep.
 func (r *RackStudyResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension — %d racks, 4:1 oversubscribed uplinks (%.0f MB/s each), %d nodes\n",
@@ -116,6 +224,15 @@ func (r *RackStudyResult) Render() string {
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%-12s %-12s %9.1fs %9.2fs %7.1f%% %10.1f%%\n",
 			row.Placement, row.Strategy, row.Makespan, row.AvgIO, 100*row.Local, 100*row.CrossRack)
+	}
+	if len(r.Sweep) > 0 {
+		fmt.Fprintf(&b, "\nSweep — rack-oblivious vs rack-tiered matcher, storage tier, identical placement\n")
+		fmt.Fprintf(&b, "%6s %-15s %10s %8s %13s %13s\n",
+			"ratio", "matcher", "makespan", "local", "rack-local", "cross-rack")
+		for _, row := range r.Sweep {
+			fmt.Fprintf(&b, "%5.0f: %-15s %9.1fs %7.1f%% %10.0f MB %10.0f MB\n",
+				row.Ratio, row.Matcher, row.Makespan, 100*row.Local, row.RackLocalMB, row.CrossRackMB)
+		}
 	}
 	return b.String()
 }

@@ -48,6 +48,9 @@ const (
 	// to the least-served replica holder (OS4M-style operation-level
 	// balancing; see engine.ServingBalancer).
 	MetricRemoteSteered = "opass_globalsched_remote_steered_total"
+	// MetricRackLocalSteered counts the subset of steered remote reads that
+	// stayed inside the reader's rack (tiered steering under Options.NodeRack).
+	MetricRackLocalSteered = "opass_globalsched_rack_local_steered_total"
 )
 
 // Options configures a Scheduler.
@@ -64,6 +67,13 @@ type Options struct {
 	// Seed drives the per-job matchers' repair randomness; job j plans
 	// with Seed+j so jobs do not share coin flips.
 	Seed int64
+	// NodeRack, when non-nil, maps each node to its rack and upgrades both
+	// levers to graded locality tiers: PickRemote prefers the least-served
+	// holder *inside the reader's rack* before crossing an uplink (the
+	// "nearest tier" refinement of OS4M's least-served rule), and each
+	// job's matcher plans with the same rack map (core.Problem.NodeRack).
+	// Nil keeps the rack-oblivious behavior.
+	NodeRack []int
 	// Metrics, when non-nil, receives the opass_globalsched_* series.
 	Metrics *telemetry.Registry
 }
@@ -110,6 +120,7 @@ func New(numNodes int, opts Options) (*Scheduler, error) {
 		m.Help(MetricLoadMin, "Coldest node's cumulative service load (MB).")
 		m.Help(MetricLoadSpread, "Max minus min cumulative per-node service load (MB).")
 		m.Help(MetricRemoteSteered, "Remote reads steered to the least-served replica holder.")
+		m.Help(MetricRackLocalSteered, "Steered remote reads served within the reader's rack.")
 	}
 	return s, nil
 }
@@ -124,6 +135,12 @@ func (s *Scheduler) JobArriving(job int, spec engine.JobSpec, now float64) (engi
 		if node >= s.nodes {
 			return nil, fmt.Errorf("globalsched: job %d process on node %d outside %d-node cluster", job, node, s.nodes)
 		}
+	}
+	if p.NodeRack == nil && len(s.opts.NodeRack) > 0 {
+		// Plan the job with the scheduler's rack map so its matcher grades
+		// locality the same way the steerer does (no-op on single-rack
+		// maps — core disables the tier there).
+		p.NodeRack = s.opts.NodeRack
 	}
 	bias := s.biases(p.TotalMB(), p.ProcNode)
 	var as core.Assigner
@@ -175,25 +192,51 @@ func (s *Scheduler) JobFinished(job int, servedMB []float64) {
 }
 
 // PickRemote implements engine.ServingBalancer: a remote read is served by
-// the replica holder with the least live serving so far (ties broken by
-// lowest node id — deterministic, and immediately self-correcting since
-// the chosen holder's tally grows by the read). Ownership bias cannot
-// place this load: a remote read under the default HDFS policy lands on a
-// uniformly-random holder, which is exactly the serving variance §III-B
-// quantifies and OS4M eliminates by deciding at the operation level.
+// the least-served holder in the nearest tier. With a rack map (tiered
+// steering) the reader's own rack is tried first — the least-served live
+// rack-local holder wins before any cross-rack candidate is considered —
+// and only a rack with no holder at all sends the read over an uplink.
+// Within a tier the holder with the least live serving so far wins (ties
+// broken by lowest node id — deterministic, and immediately
+// self-correcting since the chosen holder's tally grows by the read).
+// Ownership bias cannot place this load: a remote read under the default
+// HDFS policy lands on a uniformly-random holder, which is exactly the
+// serving variance §III-B quantifies and OS4M eliminates by deciding at
+// the operation level.
 func (s *Scheduler) PickRemote(reader int, holders []int, sizeMB float64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	best := holders[0]
-	for _, h := range holders[1:] {
-		if h < len(s.served) && s.served[h] < s.served[best] {
+	rr := s.rackOf(reader)
+	best, bestSame := holders[0], -1
+	for _, h := range holders {
+		if h != best && h < len(s.served) && s.served[h] < s.served[best] {
 			best = h
 		}
+		if rr >= 0 && s.rackOf(h) == rr &&
+			(bestSame < 0 || (h < len(s.served) && s.served[h] < s.served[bestSame])) {
+			bestSame = h
+		}
+	}
+	rackLocal := bestSame >= 0
+	if rackLocal {
+		best = bestSame
 	}
 	if m := s.opts.Metrics; m != nil {
 		m.Counter(MetricRemoteSteered).Inc()
+		if rackLocal {
+			m.Counter(MetricRackLocalSteered).Inc()
+		}
 	}
 	return best
+}
+
+// rackOf resolves a node's rack under Options.NodeRack, or -1 when the
+// scheduler is rack-oblivious or the node is outside the map.
+func (s *Scheduler) rackOf(node int) int {
+	if len(s.opts.NodeRack) == 0 || node < 0 || node >= len(s.opts.NodeRack) {
+		return -1
+	}
+	return s.opts.NodeRack[node]
 }
 
 // ReadStarted implements engine.ServingBalancer: keep the live per-node

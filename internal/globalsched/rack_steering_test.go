@@ -1,0 +1,92 @@
+package globalsched
+
+import (
+	"testing"
+
+	"opass/internal/cluster"
+	"opass/internal/core"
+	"opass/internal/dfs"
+	"opass/internal/engine"
+)
+
+// TestTieredSteeringSkipsCrashedRackLocalHolder drives the rack-tiered
+// read steerer through the engine with DataNode crashes in flight: the
+// rack preference must only ever choose among the live holders the engine
+// passes in — a crashed rack-local holder is never picked, even when it is
+// the reader's only same-rack copy — and whenever a live same-rack holder
+// exists the steered read must stay inside the rack. Run under -race in CI
+// to shake out unsynchronized steering state.
+func TestTieredSteeringSkipsCrashedRackLocalHolder(t *testing.T) {
+	const nodes, racks = 8, 2
+	topo := cluster.NewRacked(nodes, racks, cluster.Marmot())
+	fs := dfs.New(topo, dfs.Config{Seed: 13, Placement: dfs.RandomPlacement{}})
+	if _, err := fs.Create("/data", nodes*10*64); err != nil {
+		t.Fatal(err)
+	}
+	procNode := make([]int, nodes)
+	for i := range procNode {
+		procNode[i] = i
+	}
+	prob, err := core.SingleDataProblem(fs, []string{"/data"}, procNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rackMap := make([]int, nodes)
+	for i := range rackMap {
+		rackMap[i] = topo.RackOf(i)
+	}
+	s, err := New(nodes, Options{NodeRack: rackMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RankStatic ignores locality, guaranteeing plenty of remote reads.
+	a, err := core.RankStatic{}.Assign(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const midCrash = 1.5
+	res, err := engine.RunAssignment(engine.Options{
+		Topo: topo, FS: fs, Problem: prob, Strategy: "rank", Balancer: s,
+		Failures: []engine.NodeFailure{
+			{Node: 0, At: 0},        // dead before the first pick
+			{Node: 1, At: midCrash}, // dies with reads in flight
+		},
+	}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashedAt := func(node int, when float64) bool {
+		return node == 0 || (node == 1 && when >= midCrash)
+	}
+	remote, rackLocal := 0, 0
+	for _, rec := range res.Records {
+		if rec.Local {
+			continue
+		}
+		remote++
+		if rec.SrcNode == 0 {
+			t.Fatalf("chunk %d read from node 0, crashed at t=0", rec.Chunk)
+		}
+		if rec.SrcNode == 1 && rec.End > midCrash {
+			t.Fatalf("chunk %d read from node 1 finished at %.2f, after its crash", rec.Chunk, rec.End)
+		}
+		// If a live same-rack holder existed when the read started, the
+		// steered source must be rack-local.
+		sameRackLive := false
+		for _, h := range fs.Chunk(rec.Chunk).Replicas {
+			if h != rec.DstNode && !crashedAt(h, rec.Start) && topo.RackOf(h) == topo.RackOf(rec.DstNode) {
+				sameRackLive = true
+			}
+		}
+		if sameRackLive {
+			if topo.RackOf(rec.SrcNode) != topo.RackOf(rec.DstNode) {
+				t.Fatalf("chunk %d for node %d crossed racks (src %d) with a live rack-local holder available",
+					rec.Chunk, rec.DstNode, rec.SrcNode)
+			}
+			rackLocal++
+		}
+	}
+	if remote == 0 || rackLocal == 0 {
+		t.Fatalf("scenario exercised nothing: %d remote reads, %d rack-local steers", remote, rackLocal)
+	}
+}

@@ -70,6 +70,12 @@ const (
 	// (delta) replans — the surgical subset of each backlog actually moved,
 	// as opposed to MetricEngineReplans which counts whole splice events.
 	MetricEngineDeltaReplanned = "opass_engine_delta_replanned_tasks_total"
+	// MetricEngineRackLocalMB / MetricEngineCrossRackMB split the engine's
+	// remote read traffic by rack boundary: bytes served within the
+	// reader's rack vs bytes that crossed a rack uplink (the traffic an
+	// oversubscribed core fabric charges for).
+	MetricEngineRackLocalMB = "opass_engine_rack_local_mb_total"
+	MetricEngineCrossRackMB = "opass_engine_cross_rack_mb_total"
 	MetricSimLastMakespan      = "opass_sim_last_makespan_seconds"
 	MetricSimLastTasksRun      = "opass_sim_last_tasks_run"
 	MetricSimLastRetries       = "opass_sim_last_retries"
@@ -344,6 +350,8 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricEngineReplans, "Backlog replans spliced into running simulations.")
 	reg.Help(MetricEngineRepairedChunks, "Chunks restored to full replication by the repair pass, across all simulations.")
 	reg.Help(MetricEngineDeltaReplanned, "Tasks re-matched by incremental (delta) replans across all simulations.")
+	reg.Help(MetricEngineRackLocalMB, "Remote megabytes served within the reader's rack, across all simulations.")
+	reg.Help(MetricEngineCrossRackMB, "Remote megabytes that crossed a rack uplink, across all simulations.")
 	reg.Help(MetricSimLastMakespan, "Makespan of the most recent simulation, seconds of virtual time.")
 	reg.Help(MetricSimLastTasksRun, "Tasks executed by the most recent simulation.")
 	reg.Help(MetricSimLastRetries, "Retried reads in the most recent simulation.")
@@ -518,6 +526,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(MetricEngineReplans).Add(float64(res.Replans))
 	s.reg.Counter(MetricEngineDeltaReplanned).Add(float64(res.DeltaReplannedTasks))
 	s.reg.Counter(MetricEngineRepairedChunks).Add(float64(res.RepairedChunks))
+	s.reg.Counter(MetricEngineRackLocalMB).Add(res.RackLocalMB)
+	s.reg.Counter(MetricEngineCrossRackMB).Add(res.CrossRackMB)
 	s.reg.Gauge(MetricSimLastMakespan).Set(res.Makespan)
 	s.reg.Gauge(MetricSimLastTasksRun).Set(float64(res.TasksRun))
 	s.reg.Gauge(MetricSimLastRetries).Set(float64(res.Retries))

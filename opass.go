@@ -201,6 +201,7 @@ func (c *Cluster) PlanSingleData(s Strategy, files ...string) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	prob.SetNodeRacksFromView(c.fs.View())
 	as, err := c.assigner(s, false)
 	if err != nil {
 		return nil, err
@@ -216,6 +217,7 @@ func (c *Cluster) PlanSingleData(s Strategy, files ...string) (*Plan, error) {
 // StrategyOpass.
 func (c *Cluster) PlanMultiData(s Strategy, tasks []TaskSpec) (*Plan, error) {
 	prob := &core.Problem{ProcNode: c.procNodes(), FS: c.fs}
+	prob.SetNodeRacksFromView(c.fs.View())
 	for i, spec := range tasks {
 		task := core.Task{ID: i}
 		for _, ref := range spec.Inputs {
@@ -556,10 +558,18 @@ func (c *Cluster) RunJobMixContext(ctx context.Context, jobs []JobMixJob, opts J
 	}
 	var sched engine.ClusterScheduler
 	if !opts.Isolated {
-		gs, err := globalsched.New(c.NumNodes(), globalsched.Options{
+		gsOpts := globalsched.Options{
 			Balance: opts.Balance,
 			Seed:    c.seed,
-		})
+		}
+		if c.topo.NumRacks() > 1 {
+			racks := make([]int, c.topo.NumNodes())
+			for i := range racks {
+				racks[i] = c.topo.RackOf(i)
+			}
+			gsOpts.NodeRack = racks
+		}
+		gs, err := globalsched.New(c.NumNodes(), gsOpts)
 		if err != nil {
 			return nil, err
 		}

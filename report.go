@@ -38,6 +38,12 @@ type Report struct {
 	Fairness float64
 	// TasksRun counts executed tasks.
 	TasksRun int
+	// RackLocalMB / CrossRackMB split the remote bytes by rack boundary:
+	// remote reads served within the reader's rack vs reads that crossed a
+	// rack uplink. Both are zero when every read was local; on a
+	// single-rack topology CrossRackMB is always zero.
+	RackLocalMB float64
+	CrossRackMB float64
 
 	res *engine.Result
 }
@@ -56,6 +62,8 @@ func newReport(res *engine.Result) *Report {
 		JobMakespan:   res.JobMakespan(),
 		Fairness:      metrics.JainIndex(res.ServedMB),
 		TasksRun:      res.TasksRun,
+		RackLocalMB:   res.RackLocalMB,
+		CrossRackMB:   res.CrossRackMB,
 		res:           res,
 	}
 }
@@ -84,6 +92,10 @@ func (r *Report) Table() string {
 	fmt.Fprintf(&b, "data served/node  avg %.0f MB  min %.0f MB  max %.0f MB\n",
 		r.Served.Mean, r.Served.Min, r.Served.Max)
 	fmt.Fprintf(&b, "local reads       %.1f%% of bytes\n", 100*r.LocalFraction)
+	if r.RackLocalMB > 0 || r.CrossRackMB > 0 {
+		fmt.Fprintf(&b, "remote bytes      rack-local %.0f MB  cross-rack %.0f MB\n",
+			r.RackLocalMB, r.CrossRackMB)
+	}
 	fmt.Fprintf(&b, "balance (Jain)    %.3f\n", r.Fairness)
 	return b.String()
 }
@@ -110,6 +122,9 @@ func Compare(baseline, opt *Report) string {
 	row("makespan (s)", baseline.Makespan, opt.Makespan, false)
 	row("max served/node (MB)", baseline.Served.Max, opt.Served.Max, false)
 	row("local bytes fraction", baseline.LocalFraction, opt.LocalFraction, true)
+	if baseline.CrossRackMB > 0 || opt.CrossRackMB > 0 {
+		row("cross-rack bytes (MB)", baseline.CrossRackMB, opt.CrossRackMB, false)
+	}
 	row("fairness (Jain)", baseline.Fairness, opt.Fairness, true)
 	return b.String()
 }
