@@ -15,7 +15,9 @@
 //	fig11     Figure 11 — 64-node dynamic master/worker trace
 //	fig12     Figure 12 — ParaView pipeline
 //	overhead  §V-C1 — planner overhead ratio
-//	scale     §V-C2 — planner wall time vs problem size
+//	scale     §V-C2 — planner wall time vs problem size, then the full
+//	          streaming request path at bulk scale (1k→10k procs carrying
+//	          100k→1M tasks at -scale 1; see -scalejson)
 //	ablation-placement  skewed placement with/without balancer
 //	dynamic-masters     random vs delay scheduling vs Opass masters
 //	hetero              §IV-D heterogeneous cluster, static vs dynamic
@@ -45,6 +47,9 @@
 //	-repeat N       replicate trace experiments over N seeds, reporting mean±sd
 //	-benchjson F    write the planner experiment's results as JSON to F
 //	                (the committed BENCH_planner.json is generated this way)
+//	-scalejson F    write the scale experiment's streaming-path trajectory as
+//	                JSON to F (the committed BENCH_scale.json is generated
+//	                this way)
 package main
 
 import (
@@ -64,9 +69,11 @@ func main() {
 	out := flag.String("out", "", "directory to write figure data as CSV (created if missing)")
 	repeat := flag.Int("repeat", 1, "repeat trace experiments over this many seeds and report mean±sd")
 	benchjson := flag.String("benchjson", "", "write the planner experiment's results as JSON to this file")
+	scalejson := flag.String("scalejson", "", "write the scale experiment's streaming-path trajectory as JSON to this file (the committed BENCH_scale.json is generated this way)")
 	flag.Parse()
 	repeats = *repeat
 	benchJSONPath = *benchjson
+	scaleJSONPath = *scalejson
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "opass-bench: %v\n", err)
@@ -275,6 +282,9 @@ func run(name string, cfg experiments.Config) error {
 			return err
 		}
 		fmt.Print(experiments.RenderScale(rows))
+		if err := scaleStudy(cfg.Scale, cfg.Seed, scaleJSONPath); err != nil {
+			return err
+		}
 	case "ablation-placement":
 		r, err := experiments.AblationPlacement(cfg)
 		if err != nil {
@@ -297,6 +307,9 @@ var repeats int
 
 // benchJSONPath is the -benchjson flag ("" disables the JSON export).
 var benchJSONPath string
+
+// scaleJSONPath is the -scalejson flag ("" disables the JSON export).
+var scaleJSONPath string
 
 // renderTrace prints a trace experiment, replicated across seeds when
 // -repeat is above 1.

@@ -9,6 +9,10 @@
 //	       [-quiet] [-drain-timeout 15s] [-max-inflight N] [-queue-wait 2s]
 //	       [-request-timeout 55s] [-plan-cache-entries 4096] [-plan-cache-mb 64]
 //	       [-plan-cache-ttl 5m]
+//	       [-plan-cache-remote host:port] [-plan-cache-remote-timeout 250ms]
+//	       [-plan-cache-remote-namespace opass1] [-plan-cache-remote-ttl 10m]
+//	       [-max-body-mb 1024] [-max-nodes N] [-max-procs N] [-max-tasks N]
+//	       [-max-inputs-per-task N] [-legacy-decode]
 //
 // Endpoints (see internal/httpapi):
 //
@@ -30,6 +34,22 @@
 // and -plan-cache-mb bound it, -plan-cache-ttl bounds entry age (0 means
 // entries never expire), and -plan-cache-entries=0 disables caching. Cache
 // effectiveness is visible at /metrics as opass_plan_cache_*.
+//
+// -plan-cache-remote points a fleet of opassd replicas at one shared
+// memcached-protocol cache: a plan computed by any replica is published
+// under its content-addressed fingerprint and adopted by the others, so a
+// repeated request costs the fleet exactly one planner run. The backend is
+// best-effort — timeouts and errors fall back to the local planner and are
+// counted as opass_plan_cache_remote_errors_total. -plan-cache-remote-ttl
+// bounds entry age on the backend (0 means no expiry) and
+// -plan-cache-remote-namespace isolates fleets sharing one backend.
+//
+// Request admission limits are tunable: -max-body-mb bounds the request
+// body, -max-nodes/-max-procs/-max-tasks/-max-inputs-per-task bound the
+// decoded problem. Oversized requests are rejected early and cheaply — the
+// streaming decoder enforces the caps incrementally, so a rejected request
+// costs O(1) memory no matter how large its body claims to be.
+// -legacy-decode restores the buffering decoder (diagnostic escape hatch).
 //
 // On SIGINT/SIGTERM the server drains the admission queues
 // (queued requests get 503 immediately), stops accepting new connections,
@@ -62,6 +82,7 @@ import (
 	"time"
 
 	"opass/internal/httpapi"
+	"opass/internal/plancache"
 	"opass/internal/telemetry"
 )
 
@@ -83,6 +104,23 @@ func main() {
 		"maximum memory the plan cache may hold, in MiB")
 	planCacheTTL := flag.Duration("plan-cache-ttl", httpapi.DefaultPlanCacheTTL,
 		"maximum age of a cached plan; 0 means cached plans never expire")
+	remoteAddr := flag.String("plan-cache-remote", "",
+		"host:port of a shared memcached-protocol plan cache; empty disables the shared tier")
+	remoteTimeout := flag.Duration("plan-cache-remote-timeout", plancache.DefaultRemoteTimeout,
+		"per-operation deadline for the shared plan cache; expiry falls back to the local planner")
+	remoteNamespace := flag.String("plan-cache-remote-namespace", httpapi.DefaultRemoteTierNamespace,
+		"key namespace on the shared plan cache; isolates fleets sharing one backend")
+	remoteTTL := flag.Duration("plan-cache-remote-ttl", httpapi.DefaultRemoteTierTTL,
+		"maximum age of a plan on the shared cache; 0 means entries never expire")
+	maxBodyMB := flag.Int64("max-body-mb", httpapi.DefaultMaxBodyBytes>>20,
+		"maximum request body size, in MiB")
+	maxNodes := flag.Int("max-nodes", httpapi.DefaultMaxNodes, "maximum cluster nodes per request")
+	maxProcs := flag.Int("max-procs", httpapi.DefaultMaxProcs, "maximum processes per request")
+	maxTasks := flag.Int("max-tasks", httpapi.DefaultMaxTasks, "maximum tasks per request")
+	maxInputs := flag.Int("max-inputs-per-task", httpapi.DefaultMaxInputsPerTask,
+		"maximum inputs a single task may list")
+	legacyDecode := flag.Bool("legacy-decode", false,
+		"buffer and decode request bodies in one piece instead of streaming")
 	flag.Parse()
 
 	// Map the CLI's "0 disables / 0 never expires" convention onto the
@@ -96,6 +134,18 @@ func main() {
 	if ttlOpt <= 0 {
 		ttlOpt = -1
 	}
+	remoteTTLOpt := *remoteTTL
+	if remoteTTLOpt <= 0 {
+		remoteTTLOpt = -1
+	}
+
+	var tier plancache.Tier
+	var remote *plancache.Remote
+	if *remoteAddr != "" {
+		remote = plancache.NewRemote(*remoteAddr, plancache.RemoteOptions{Timeout: *remoteTimeout})
+		defer remote.Close()
+		tier = remote
+	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
@@ -108,14 +158,25 @@ func main() {
 	}
 
 	api := httpapi.NewServer(httpapi.ServerOptions{
-		Registry:         telemetry.NewRegistry(),
-		Logger:           reqLogger,
-		MaxInflight:      *maxInflight,
-		QueueWait:        *queueWait,
-		RequestTimeout:   *requestTimeout,
-		PlanCacheEntries: entriesOpt,
-		PlanCacheMB:      *planCacheMB,
-		PlanCacheTTL:     ttlOpt,
+		Registry:            telemetry.NewRegistry(),
+		Logger:              reqLogger,
+		MaxInflight:         *maxInflight,
+		QueueWait:           *queueWait,
+		RequestTimeout:      *requestTimeout,
+		PlanCacheEntries:    entriesOpt,
+		PlanCacheMB:         *planCacheMB,
+		PlanCacheTTL:        ttlOpt,
+		RemoteTier:          tier,
+		RemoteTierNamespace: *remoteNamespace,
+		RemoteTierTTL:       remoteTTLOpt,
+		LegacyDecode:        *legacyDecode,
+		Limits: httpapi.RequestLimits{
+			BodyBytes:     *maxBodyMB << 20,
+			Nodes:         *maxNodes,
+			Procs:         *maxProcs,
+			Tasks:         *maxTasks,
+			InputsPerTask: *maxInputs,
+		},
 	})
 	srv := &http.Server{
 		Addr:              *addr,

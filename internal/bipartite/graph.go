@@ -85,6 +85,60 @@ func (g *Graph) AddEdge(p, f int, weight int64) {
 	g.edges++
 }
 
+// NewGraphFromSorted builds a graph in one shot from complete per-process
+// adjacency lists: byP[p] must hold process p's edges in ascending file
+// order with distinct files, positive weights, and P set to p — exactly
+// what an in-order AddEdge loop would have produced, minus the per-edge
+// binary searches. The graph takes ownership of byP without copying and
+// derives the per-file adjacency by a counting-sort transpose over one
+// backing array; visiting processes in ascending order lands each list
+// process-ascending, matching the incremental builder's invariant.
+// Invalid input panics, mirroring AddEdge. This is the bulk path behind
+// the planners' parallel locality-graph build.
+func NewGraphFromSorted(numP, numF int, byP [][]Edge) *Graph {
+	if numP < 0 || numF < 0 {
+		panic(fmt.Sprintf("bipartite: invalid graph dimensions %dx%d", numP, numF))
+	}
+	if len(byP) != numP {
+		panic(fmt.Sprintf("bipartite: %d adjacency lists for %d processes", len(byP), numP))
+	}
+	g := &Graph{numP: numP, numF: numF, byP: byP, byF: make([][]Edge, numF)}
+	degF := make([]int, numF)
+	for p, es := range byP {
+		g.edges += len(es)
+		for i, e := range es {
+			if e.P != p {
+				panic(fmt.Sprintf("bipartite: edge %+v in adjacency of process %d", e, p))
+			}
+			if e.F < 0 || e.F >= numF {
+				panic(fmt.Sprintf("bipartite: file %d out of range [0,%d)", e.F, numF))
+			}
+			if e.Weight <= 0 {
+				panic(fmt.Sprintf("bipartite: edge (%d,%d) weight %d must be positive", e.P, e.F, e.Weight))
+			}
+			if i > 0 && es[i-1].F >= e.F {
+				panic(fmt.Sprintf("bipartite: adjacency of process %d not file-ascending at %d", p, i))
+			}
+			degF[e.F]++
+		}
+	}
+	backing := make([]Edge, g.edges)
+	pos := make([]int, numF)
+	off := 0
+	for f, d := range degF {
+		pos[f] = off
+		g.byF[f] = backing[off : off+d : off+d]
+		off += d
+	}
+	for _, es := range byP {
+		for _, e := range es {
+			backing[pos[e.F]] = e
+			pos[e.F]++
+		}
+	}
+	return g
+}
+
 // Reserve pre-sizes the adjacency lists for callers that know vertex
 // degrees up front (the locality index does), eliminating append-growth
 // reallocations during a bulk build. Nil slices leave that side untouched;

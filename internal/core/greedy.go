@@ -33,8 +33,12 @@ func (g GreedyLocality) Assign(p *Problem) (*Assignment, error) {
 	return g.AssignContext(context.Background(), p)
 }
 
-// AssignContext implements ContextAssigner: the O(m·n) candidate sweep —
-// this planner's dominant cost — polls ctx every few hundred tasks.
+// AssignContext implements ContextAssigner. The candidate discovery that
+// used to dominate — an O(m·n) CoLocatedMB probe sweep — now reads the
+// locality index, whose parallel O(edges) build yields the same candidate
+// sets in the same ascending-process order with bit-identical MB values
+// (the index contract), so plans are byte-identical to the probe-based
+// planner; the greedy parity test checks the two paths against each other.
 func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignment, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -42,25 +46,20 @@ func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignm
 	n, m := len(p.Tasks), p.NumProcs()
 	quotas := taskQuotas(n, m)
 
-	// Co-located processes per task (the task's admissible set).
-	cand := make([][]int, n)
-	for t := 0; t < n; t++ {
-		if t%indexCtxStride == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		for proc := 0; proc < m; proc++ {
-			if p.CoLocatedMB(proc, t) > 0 {
-				cand[t] = append(cand[t], proc)
-			}
-		}
+	ix, err := NewLocalityIndexContext(ctx, p)
+	if err != nil {
+		return nil, err
 	}
+	defer ix.Release()
+
+	// Scarcest-first task order: fewest co-located processes first.
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		if len(cand[order[a]]) != len(cand[order[b]]) {
-			return len(cand[order[a]]) < len(cand[order[b]])
+		if da, db := len(ix.TaskEdges(order[a])), len(ix.TaskEdges(order[b])); da != db {
+			return da < db
 		}
 		return order[a] < order[b]
 	})
@@ -70,9 +69,14 @@ func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignm
 		owner[i] = -1
 	}
 	counts := make([]int, m)
-	for _, t := range order {
+	for i, t := range order {
+		if i%indexCtxStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		best := -1
-		for _, proc := range cand[t] {
+		var bestMB float64
+		for _, e := range ix.TaskEdges(t) {
+			proc := e.Proc
 			if counts[proc] >= quotas[proc] {
 				continue
 			}
@@ -80,12 +84,12 @@ func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignm
 			// break toward the larger co-located size, then lower rank.
 			switch {
 			case best == -1:
-				best = proc
+				best, bestMB = proc, e.MB
 			case quotas[proc]-counts[proc] > quotas[best]-counts[best]:
-				best = proc
+				best, bestMB = proc, e.MB
 			case quotas[proc]-counts[proc] == quotas[best]-counts[best] &&
-				p.CoLocatedMB(proc, t) > p.CoLocatedMB(best, t):
-				best = proc
+				e.MB > bestMB:
+				best, bestMB = proc, e.MB
 			}
 		}
 		if best >= 0 {
@@ -95,15 +99,8 @@ func (g GreedyLocality) AssignContext(ctx context.Context, p *Problem) (*Assignm
 	}
 
 	// Rack tier: steer leftover tasks to rack-local under-quota processes
-	// before the random repair. The index is only built when the problem
-	// spans racks — the greedy hot path stays index-free otherwise.
-	if p.RackTiered() {
-		ix, err := NewLocalityIndexContext(ctx, p)
-		if err != nil {
-			return nil, err
-		}
-		rackRepairCounts(p, ix, owner)
-	}
+	// before the random repair (a no-op unless the problem spans racks).
+	rackRepairCounts(p, ix, owner)
 	rng := rand.New(rand.NewSource(g.Seed))
 	repairUnmatched(p, owner, rng)
 

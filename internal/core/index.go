@@ -22,6 +22,15 @@ import (
 // declaration order, each added once per co-located process), so the
 // floating-point weights are bit-identical to the probe path — the golden
 // plan tests rely on this to prove the refactor is behavior-preserving.
+//
+// At service scale (10k procs / 1M tasks) the index's edge storage is tens
+// of millions of LocalityEdge values per request; building and dropping
+// that on every plan dominates allocator time. The heavy buffers — the
+// fixed-size arena blocks per-task edge slices are carved from, the byProc
+// transpose backing, and the per-worker accumulation scratch — are
+// therefore recycled through package-level sync.Pools. Request-scoped
+// consumers (the planners) call Release when done; long-lived holders (the
+// dynamic scheduler) simply never release and the GC reclaims as before.
 
 // LocalityEdge is one edge of the §IV-A bipartite locality graph: process
 // Proc holds MB megabytes of task Task's input data on its local disks.
@@ -44,6 +53,12 @@ type LocalityIndex struct {
 	rackTiered bool
 	byTaskRack [][]LocalityEdge // task -> rack-local edges, Proc-ascending
 	rackEdges  int
+
+	// Pooled-buffer bookkeeping for Release: every standard arena block the
+	// build carved edge slices from, and the byProc transpose backing.
+	blocks   []*[]LocalityEdge
+	backing  *[]LocalityEdge
+	released bool
 }
 
 // indexParallelThreshold is the task count below which the index builds
@@ -53,6 +68,104 @@ const indexParallelThreshold = 256
 // indexCtxStride is how many per-task accumulations run between context
 // polls during the index build (serially and per worker).
 const indexCtxStride = 512
+
+// edgeBlockSize is the arena block granularity: one allocation (or pool
+// fetch) per ~4096 edges instead of one per task.
+const edgeBlockSize = 4096
+
+// edgeBlockPool recycles the fixed-size arena blocks. Stale contents are
+// harmless: a carve writes every element of the slice it returns before the
+// slice becomes visible.
+var edgeBlockPool = sync.Pool{New: func() any {
+	b := make([]LocalityEdge, edgeBlockSize)
+	return &b
+}}
+
+// backingPool recycles the byProc transpose backing array (one contiguous
+// slice holding every edge of an index, capacity varies by problem).
+var backingPool sync.Pool
+
+// scratchPool recycles per-worker accumulation scratch between builds.
+var scratchPool sync.Pool
+
+// buildScratch is the per-worker accumulation state shared by the node-tier
+// and rack-tier index builders: accumulated MB per process plus an epoch
+// stamp so the arrays reset in O(touched) instead of O(m) per task. The
+// epoch survives pooling — it only ever increments, so stale stamps from a
+// previous build can never collide with a fresh epoch.
+type buildScratch struct {
+	mb      []float64
+	stamp   []int
+	epoch   int
+	touched []int
+	racks   []int          // rack-tier builder only: racks of the current input
+	arena   []LocalityEdge // remaining tail of the current block
+	blocks  []*[]LocalityEdge
+}
+
+// newScratch fetches (or grows) a pooled scratch sized for m processes.
+func newScratch(m int) *buildScratch {
+	s, _ := scratchPool.Get().(*buildScratch)
+	if s == nil {
+		s = new(buildScratch)
+	}
+	if cap(s.mb) < m {
+		s.mb = make([]float64, m)
+		s.stamp = make([]int, m)
+	} else {
+		s.mb = s.mb[:m]
+		s.stamp = s.stamp[:m]
+	}
+	return s
+}
+
+// carve returns an edge slice of exactly need elements from the block
+// arena. Full slice expressions cap the capacity so neighboring carves can
+// never overlap. Oversized needs get a dedicated (non-recycled) allocation.
+func (s *buildScratch) carve(need int) []LocalityEdge {
+	if need > edgeBlockSize {
+		return make([]LocalityEdge, need)
+	}
+	if len(s.arena) < need {
+		bp := edgeBlockPool.Get().(*[]LocalityEdge)
+		s.blocks = append(s.blocks, bp)
+		s.arena = *bp
+	}
+	es := s.arena[:need:need]
+	s.arena = s.arena[need:]
+	return es
+}
+
+// handoff moves the blocks this scratch drew into the index (which owns
+// them until Release) and returns the scratch to the pool.
+func (s *buildScratch) handoff(ix *LocalityIndex, mu *sync.Mutex) {
+	if len(s.blocks) > 0 {
+		if mu != nil {
+			mu.Lock()
+		}
+		ix.blocks = append(ix.blocks, s.blocks...)
+		if mu != nil {
+			mu.Unlock()
+		}
+	}
+	s.blocks = nil
+	s.arena = nil
+	s.touched = s.touched[:0]
+	s.racks = s.racks[:0]
+	scratchPool.Put(s)
+}
+
+// getBacking fetches (or allocates) a contiguous edge slice of length n.
+// Every element is overwritten by the transpose fill, so stale pooled
+// contents are harmless. A pooled slice too small for n is dropped.
+func getBacking(n int) *[]LocalityEdge {
+	if bp, ok := backingPool.Get().(*[]LocalityEdge); ok && cap(*bp) >= n {
+		*bp = (*bp)[:n]
+		return bp
+	}
+	b := make([]LocalityEdge, n)
+	return &b
+}
 
 // NewLocalityIndex builds the index in O(edges) by walking each task's
 // inputs through the chunk→replica and node→process inversions. The
@@ -84,16 +197,7 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 		}
 	}
 
-	// Per-worker scratch: accumulated MB per process plus an epoch stamp so
-	// the arrays reset in O(touched) instead of O(m) per task.
-	type scratch struct {
-		mb      []float64
-		stamp   []int
-		epoch   int
-		touched []int
-		arena   []LocalityEdge // block allocator for per-task edge slices
-	}
-	buildTask := func(s *scratch, t int) {
+	buildTask := func(s *buildScratch, t int) {
 		s.epoch++
 		s.touched = s.touched[:0]
 		for _, in := range p.Tasks[t].Inputs {
@@ -115,19 +219,7 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 			return
 		}
 		sort.Ints(s.touched)
-		// Carve the task's edge slice from a block arena: one allocation per
-		// ~4096 edges instead of one per task. Full slice expressions cap the
-		// capacity so neighboring carves can never overlap.
-		need := len(s.touched)
-		if len(s.arena) < need {
-			size := 4096
-			if need > size {
-				size = need
-			}
-			s.arena = make([]LocalityEdge, size)
-		}
-		es := s.arena[:need:need]
-		s.arena = s.arena[need:]
+		es := s.carve(len(s.touched))
 		for i, proc := range s.touched {
 			es[i] = LocalityEdge{Proc: proc, Task: t, MB: s.mb[proc]}
 		}
@@ -136,24 +228,31 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 
 	workers := runtime.GOMAXPROCS(0)
 	if n < indexParallelThreshold || workers <= 1 {
-		s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+		s := newScratch(m)
 		for t := 0; t < n; t++ {
 			if t%indexCtxStride == 0 && ctx.Err() != nil {
+				s.handoff(ix, nil)
+				ix.Release()
 				return nil, ctx.Err()
 			}
 			buildTask(s, t)
 		}
+		s.handoff(ix, nil)
 	} else {
 		if workers > n {
 			workers = n
 		}
+		var mu sync.Mutex
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
-				defer wg.Done()
-				s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+				s := newScratch(m)
+				defer func() {
+					s.handoff(ix, &mu)
+					wg.Done()
+				}()
 				for done := 0; ; done++ {
 					if done%indexCtxStride == 0 && ctx.Err() != nil {
 						return // partial build; caller returns ctx.Err()
@@ -170,6 +269,7 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 		// ctx errors are sticky: if it fired at any point some worker may
 		// have bailed mid-build, so the byTask view cannot be trusted.
 		if err := ctx.Err(); err != nil {
+			ix.Release()
 			return nil, err
 		}
 	}
@@ -184,7 +284,8 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 			deg[e.Proc]++
 		}
 	}
-	backing := make([]LocalityEdge, ix.edges)
+	ix.backing = getBacking(ix.edges)
+	backing := *ix.backing
 	pos := make([]int, m)
 	off := 0
 	ix.byProc = make([][]LocalityEdge, m)
@@ -200,9 +301,38 @@ func NewLocalityIndexContext(ctx context.Context, p *Problem) (*LocalityIndex, e
 		}
 	}
 	if err := ix.buildRackTier(ctx); err != nil {
+		ix.Release()
 		return nil, err
 	}
 	return ix, nil
+}
+
+// Release returns the index's pooled buffers (arena blocks, transpose
+// backing, and with them every edge slice ever returned by
+// TaskEdges/ProcEdges/TaskRackEdges) to the package pools for the next
+// build. It is optional and purely a performance lever: an index that is
+// simply dropped is garbage-collected as before. The caller must be the
+// sole user of the index — after Release the index and any views obtained
+// from it are invalid. Releasing twice panics; releasing a nil index is a
+// no-op so error paths can call it unconditionally.
+func (ix *LocalityIndex) Release() {
+	if ix == nil {
+		return
+	}
+	if ix.released {
+		panic("core: LocalityIndex.Release called twice")
+	}
+	ix.released = true
+	for _, bp := range ix.blocks {
+		edgeBlockPool.Put(bp)
+	}
+	ix.blocks = nil
+	if ix.backing != nil {
+		backingPool.Put(ix.backing)
+		ix.backing = nil
+	}
+	ix.p = nil
+	ix.byTask, ix.byProc, ix.byTaskRack = nil, nil, nil
 }
 
 // NumEdges reports the number of locality edges (pairs with positive
@@ -273,4 +403,26 @@ func parallelFor(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// parallelChunks runs fn(lo, hi) over contiguous [lo, hi) ranges of [0, n)
+// of at most chunk elements each, fanned out over the parallelFor pool.
+// Chunk boundaries depend only on n and chunk — never on the worker count —
+// so per-chunk partial results can be reduced deterministically.
+func parallelChunks(n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	parallelFor(chunks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
 }

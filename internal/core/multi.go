@@ -74,6 +74,7 @@ func (md MultiData) AssignContext(ctx context.Context, p *Problem) (*Assignment,
 	if err != nil {
 		return nil, err
 	}
+	defer ix.Release()
 	prefs := make([][]LocalityEdge, m) // proc -> edges, best first
 	parallelFor(m, func(proc int) {
 		es := ix.ProcEdges(proc)

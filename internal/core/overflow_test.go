@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opass/internal/bipartite"
+	"opass/internal/dfs"
+)
+
+// These tests pin the overflow audit of the flow-capacity unit math: at
+// service scale (1M tasks, sub-MB chunks, scaled units) capacity sums blow
+// past 2^31, so every quantity along the flow path must be int64 and the
+// unit scale must be clamped so even adversarial size distributions cannot
+// push an int64 sum anywhere near 2^63.
+
+// problemFromSizes builds a single-data problem with explicit task sizes,
+// every chunk replicated on all nodes (locality never constrains the flow,
+// so the capacity math alone decides the outcome).
+func problemFromSizes(t *testing.T, nodes int, sizes []float64) *Problem {
+	t.Helper()
+	fs := dfs.New(view{nodes}, dfs.Config{Seed: 1})
+	replicas := make([][]int, len(sizes))
+	all := make([]int, nodes)
+	for i := range all {
+		all[i] = i
+	}
+	for i := range replicas {
+		replicas[i] = all
+	}
+	if _, err := fs.CreateChunksReplicated("/sizes", sizes, replicas); err != nil {
+		t.Fatal(err)
+	}
+	procNode := make([]int, nodes)
+	for i := range procNode {
+		procNode[i] = i
+	}
+	p, err := SingleDataProblem(fs, []string{"/sizes"}, procNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCapUnitsSaturation drives capUnits through the near-limit and
+// out-of-range corners: values at the clamp stay exact (2^40 is far inside
+// float64's integer range), values beyond it saturate instead of hitting
+// the undefined float→int64 conversion, and garbage saturates at the floor.
+func TestCapUnitsSaturation(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		size  float64
+		scale int64
+		want  int64
+	}{
+		{"just under clamp", float64(maxCapUnits - 1), 1, maxCapUnits - 1},
+		{"exactly clamp", float64(maxCapUnits), 1, maxCapUnits},
+		{"one past clamp", float64(maxCapUnits + 1), 1, maxCapUnits},
+		{"scaled past clamp", float64(maxCapUnits), 1 << 24, maxCapUnits},
+		{"astronomical", 1e300, 1 << 24, maxCapUnits},
+		{"infinite", math.Inf(1), 1, maxCapUnits},
+		{"negative infinite", math.Inf(-1), 1, 1},
+		{"nan", math.NaN(), 1, 1},
+		{"subunit floor", 1e-12, 1, 1},
+	} {
+		if got := capUnits(c.size, c.scale); got != c.want {
+			t.Errorf("%s: capUnits(%v, %d) = %d, want %d", c.name, c.size, c.scale, got, c.want)
+		}
+	}
+}
+
+// TestCapacityScaleClamp asserts the scale shrinks back whenever the
+// sub-MB refinement would push the aggregate workload past maxCapUnits —
+// the property that makes every downstream int64 capacity sum safe.
+func TestCapacityScaleClamp(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes []float64
+		want  int64
+	}{
+		// Baselines: the clamp must not disturb normal problems.
+		{"whole MB", []float64{64, 64, 64, 64}, 1},
+		{"sub-MB", []float64{0.5, 64}, 64}, // 32 units / 0.5 MB
+		// A tiny task demands scale 32768 (32/0.001 rounded up to a power
+		// of two), but a petabyte-scale sibling forces it back down so
+		// total units stay ≤ 2^40.
+		{"tiny plus 1e9 MB", []float64{0.001, 1e9}, 1 << 10},
+		// With ~1e12 MB total even scale 2 overflows the budget: clamp to 1.
+		{"tiny plus 1e12 MB", []float64{0.001, 1e12}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := problemFromSizes(t, 2, c.sizes)
+			scale := capacityScale(p)
+			if scale != c.want {
+				t.Fatalf("capacityScale = %d, want %d (sizes %v)", scale, c.want, c.sizes)
+			}
+			var total int64
+			for i := range p.Tasks {
+				total += capUnits(p.Tasks[i].SizeMB(), scale)
+			}
+			// Rounding and the per-task floor may add at most one unit per
+			// task above the clamped product.
+			if limit := maxCapUnits + int64(len(p.Tasks)); total > limit {
+				t.Fatalf("total units %d exceeds clamp budget %d", total, limit)
+			}
+		})
+	}
+}
+
+// TestSingleDataNearLimitTotals runs the full flow planner on problems
+// whose capacity totals exceed 2^31 units — the regression the audit
+// guards: any 32-bit intermediate in the graph build, quota split, or
+// max-flow would corrupt these plans. One sub-MB task forces a 64×
+// sub-unit scale while its siblings carry 5e7 MB each, so per-task
+// capacities alone (≈3.2e9 units) overflow int32.
+func TestSingleDataNearLimitTotals(t *testing.T) {
+	sizes := []float64{0.5}
+	for i := 0; i < 7; i++ {
+		sizes = append(sizes, 5e7)
+	}
+	for _, algo := range []struct {
+		name string
+		a    bipartite.Algorithm
+	}{{"edmonds-karp", bipartite.EdmondsKarp}, {"dinic", bipartite.Dinic}} {
+		t.Run(algo.name, func(t *testing.T) {
+			p := problemFromSizes(t, 4, sizes)
+			scale := capacityScale(p)
+			if units := capUnits(5e7, scale); units <= math.MaxInt32 {
+				t.Fatalf("per-task capacity %d fits int32; test lost its teeth (scale %d)", units, scale)
+			}
+			a, err := SingleData{Algorithm: algo.a, Seed: 7}.Assign(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(p); err != nil {
+				t.Fatal(err)
+			}
+			if a.LocalityFraction() != 1.0 {
+				t.Fatalf("locality %v, want 1.0 with full replication", a.LocalityFraction())
+			}
+			// Every process must land within one task of the even MB split;
+			// an overflowed quota would send everything to one process.
+			load := make([]float64, p.NumProcs())
+			for task, proc := range a.Owner {
+				load[proc] += p.Tasks[task].SizeMB()
+			}
+			ideal := p.TotalMB() / float64(p.NumProcs())
+			for proc, mb := range load {
+				if diff := math.Abs(mb - ideal); diff > 5e7 {
+					t.Fatalf("proc %d carries %.3g MB, ideal %.3g (loads %v)", proc, mb, ideal, load)
+				}
+			}
+		})
+	}
+}

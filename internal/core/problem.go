@@ -301,6 +301,21 @@ func taskQuotas(n, m int) []int {
 	return q
 }
 
+// maxCapUnits bounds every quantity the flow encoding expresses in
+// capacity units. capacityScale clamps the unit so the problem's aggregate
+// size stays at or below it, and capUnits saturates individual conversions
+// at it, so any sum of fewer than 2^23 capacities — source-arc totals,
+// per-process quotas, flow bottlenecks — provably stays below 2^63 on every
+// platform. (The bound matters only for absurd inputs: at 2^40 sub-MB
+// units a real workload is an exabyte. Normal problems never see it.)
+const maxCapUnits = int64(1) << 40
+
+// capScaleChunk is the stride of the parallel task-size reductions in
+// capacityScale and the planners' size precomputation. Chunk boundaries
+// depend only on the task count, so chunk-ordered reductions are
+// deterministic across worker counts.
+const capScaleChunk = 4096
+
 // capacityScale picks the integer unit of the flow encoding: capacities
 // are expressed in 1/scale MB. Whole-MB workloads keep scale 1 — the
 // paper's encoding, with capUnits(x, 1) rounding to the nearest MB. When
@@ -308,50 +323,91 @@ func taskQuotas(n, m int) []int {
 // inflate its capacity (a 0.4 MB task became 1 MB, ~2.5x, distorting the
 // per-process quotas), so the unit shrinks by powers of two until the
 // smallest task spans at least minTaskUnits units, bounding the per-task
-// rounding error at ~1.6% instead.
+// rounding error at ~1.6% instead. The scale is then clamped back so the
+// total workload fits in maxCapUnits units, which is what makes the int64
+// flow sums overflow-proof no matter how the task sizes are distributed.
 func capacityScale(p *Problem) int64 {
-	minSize := math.Inf(1)
-	for i := range p.Tasks {
-		if s := p.Tasks[i].SizeMB(); s < minSize {
-			minSize = s
+	n := len(p.Tasks)
+	chunks := (n + capScaleChunk - 1) / capScaleChunk
+	mins := make([]float64, chunks)
+	totals := make([]float64, chunks)
+	parallelChunks(n, capScaleChunk, func(lo, hi int) {
+		minSize := math.Inf(1)
+		var total float64
+		for t := lo; t < hi; t++ {
+			s := p.Tasks[t].SizeMB()
+			if s < minSize {
+				minSize = s
+			}
+			total += s
+		}
+		mins[lo/capScaleChunk] = minSize
+		totals[lo/capScaleChunk] = total
+	})
+	minSize, totalMB := math.Inf(1), 0.0
+	for i := range mins {
+		if mins[i] < minSize {
+			minSize = mins[i]
+		}
+		totalMB += totals[i] // chunk order: deterministic float sum
+	}
+	scale := int64(1)
+	if minSize < 1 {
+		const minTaskUnits = 32
+		for float64(scale)*minSize < minTaskUnits && scale < 1<<24 {
+			scale <<= 1
 		}
 	}
-	if minSize >= 1 {
-		return 1
-	}
-	const minTaskUnits = 32
-	scale := int64(1)
-	for float64(scale)*minSize < minTaskUnits && scale < 1<<24 {
-		scale <<= 1
+	for scale > 1 && totalMB*float64(scale) > float64(maxCapUnits) {
+		scale >>= 1
 	}
 	return scale
 }
 
 // capUnits converts a size in MB to integer flow-capacity units at the
-// given scale, rounding to nearest but never below 1.
+// given scale, rounding to nearest but never below 1 and never above
+// maxCapUnits. The upper clamp doubles as the float→int64 conversion
+// guard: the comparison happens in float64, where maxCapUnits (2^40) is
+// exact, so an astronomically large size can never hit the undefined
+// out-of-range conversion.
 func capUnits(size float64, scale int64) int64 {
-	v := int64(math.Round(size * float64(scale)))
-	if v < 1 {
-		v = 1
+	v := math.Round(size * float64(scale))
+	if !(v >= 1) { // also catches NaN
+		return 1
 	}
-	return v
+	if v > float64(maxCapUnits) {
+		return maxCapUnits
+	}
+	return int64(v)
 }
 
 // localityGraph builds the §IV-A bipartite graph from the locality index:
 // an edge (p, t) weighted by the co-located data in capacity units
-// whenever any input of task t has a replica on process p's node. Walking
-// the index's sparse edges keeps the build O(edges); the insertion order
-// (process-major, tasks ascending) appends in the sorted-adjacency order
-// bipartite.Graph maintains, so no edge insert ever shifts.
+// whenever any input of task t has a replica on process p's node. The
+// index's per-process adjacency is already in the graph's insertion order,
+// so the build is a pure transcription: one shared backing array carved by
+// per-process offsets, filled in parallel (the per-edge unit rounding is
+// the dominant cost at 1M tasks), then handed to the bulk graph
+// constructor, which transposes the per-file view with a counting sort.
+// The edge weights are the same capUnits values the incremental AddEdge
+// path produced, so plans stay byte-identical — the golden tests prove it.
 func localityGraph(p *Problem, ix *LocalityIndex, scale int64) *bipartite.Graph {
-	g := bipartite.NewGraph(p.NumProcs(), len(p.Tasks))
-	g.Reserve(ix.Degrees())
-	for proc := 0; proc < p.NumProcs(); proc++ {
-		for _, e := range ix.ProcEdges(proc) {
-			g.AddEdge(proc, e.Task, capUnits(e.MB, scale))
-		}
+	m, n := p.NumProcs(), len(p.Tasks)
+	offs := make([]int, m+1)
+	for proc := 0; proc < m; proc++ {
+		offs[proc+1] = offs[proc] + len(ix.ProcEdges(proc))
 	}
-	return g
+	backing := make([]bipartite.Edge, offs[m])
+	byP := make([][]bipartite.Edge, m)
+	parallelFor(m, func(proc int) {
+		es := ix.ProcEdges(proc)
+		out := backing[offs[proc]:offs[proc+1]:offs[proc+1]]
+		for i, e := range es {
+			out[i] = bipartite.Edge{P: proc, F: e.Task, Weight: capUnits(e.MB, scale)}
+		}
+		byP[proc] = out
+	})
+	return bipartite.NewGraphFromSorted(m, n, byP)
 }
 
 // pickSmallest returns the index of the under-quota process with the least

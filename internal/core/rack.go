@@ -97,15 +97,7 @@ func (ix *LocalityIndex) buildRackTier(ctx context.Context) error {
 		return false
 	}
 
-	type scratch struct {
-		mb      []float64
-		stamp   []int
-		epoch   int
-		touched []int
-		racks   []int // racks holding the current input, first-seen order
-		arena   []LocalityEdge
-	}
-	buildTask := func(s *scratch, t int) {
+	buildTask := func(s *buildScratch, t int) {
 		s.epoch++
 		s.touched = s.touched[:0]
 		for _, in := range p.Tasks[t].Inputs {
@@ -145,16 +137,7 @@ func (ix *LocalityIndex) buildRackTier(ctx context.Context) error {
 			return
 		}
 		sort.Ints(s.touched)
-		need := len(s.touched)
-		if len(s.arena) < need {
-			size := 4096
-			if need > size {
-				size = need
-			}
-			s.arena = make([]LocalityEdge, size)
-		}
-		es := s.arena[:need:need]
-		s.arena = s.arena[need:]
+		es := s.carve(len(s.touched))
 		for i, proc := range s.touched {
 			es[i] = LocalityEdge{Proc: proc, Task: t, MB: s.mb[proc]}
 		}
@@ -163,24 +146,30 @@ func (ix *LocalityIndex) buildRackTier(ctx context.Context) error {
 
 	workers := runtime.GOMAXPROCS(0)
 	if n < indexParallelThreshold || workers <= 1 {
-		s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+		s := newScratch(m)
 		for t := 0; t < n; t++ {
 			if t%indexCtxStride == 0 && ctx.Err() != nil {
+				s.handoff(ix, nil)
 				return ctx.Err()
 			}
 			buildTask(s, t)
 		}
+		s.handoff(ix, nil)
 	} else {
 		if workers > n {
 			workers = n
 		}
+		var mu sync.Mutex
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
-				defer wg.Done()
-				s := &scratch{mb: make([]float64, m), stamp: make([]int, m)}
+				s := newScratch(m)
+				defer func() {
+					s.handoff(ix, &mu)
+					wg.Done()
+				}()
 				for done := 0; ; done++ {
 					if done%indexCtxStride == 0 && ctx.Err() != nil {
 						return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"opass/internal/bipartite"
 )
@@ -86,19 +87,30 @@ func (s SingleData) assign(ctx context.Context, p *Problem, seed []int) (*Assign
 	if err != nil {
 		return nil, err
 	}
+	// The index is request-scoped: hand its arena blocks back to the pool on
+	// every exit path so a service replanning at 1M tasks reuses them
+	// instead of paying the allocator per request.
+	defer ix.Release()
 	scale := capacityScale(p)
 	g := localityGraph(p, ix, scale)
 
 	// Per-process data quota: TotalSize/m (or weight-proportional shares),
 	// in whole capacity units (1/scale MB) with the rounding remainder
-	// spread over the first processes so quotas sum to the total.
+	// spread over the first processes so quotas sum to the total. The
+	// per-task unit conversions are independent; int64 addition is exact,
+	// so chunked parallel partial sums reduce to the same total in any
+	// order.
 	sizes := make([]int64, n)
-	var total int64
-	for t := range p.Tasks {
-		sizes[t] = capUnits(p.Tasks[t].SizeMB(), scale)
-		total += sizes[t]
-	}
-	quotasMB, err := shareQuotas(total, m, weights)
+	var total atomic.Int64
+	parallelChunks(n, capScaleChunk, func(lo, hi int) {
+		var sub int64
+		for t := lo; t < hi; t++ {
+			sizes[t] = capUnits(p.Tasks[t].SizeMB(), scale)
+			sub += sizes[t]
+		}
+		total.Add(sub)
+	})
+	quotasMB, err := shareQuotas(total.Load(), m, weights)
 	if err != nil {
 		return nil, err
 	}

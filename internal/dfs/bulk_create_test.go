@@ -1,0 +1,149 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCreateChunksReplicated(t *testing.T) {
+	fs := New(testView(6), Config{Seed: 1})
+	before := fs.Epoch()
+	f, err := fs.CreateChunksReplicated("/bulk", []float64{64, 32, 16}, [][]int{
+		{3, 1},    // unsorted on purpose
+		{5},       // single replica despite default replication 3
+		{0, 2, 4}, // triple
+	})
+	if err != nil {
+		t.Fatalf("CreateChunksReplicated: %v", err)
+	}
+	if got := fs.Epoch(); got != before+1 {
+		t.Fatalf("epoch bumped %d times, want exactly 1", got-before)
+	}
+	if f.SizeMB != 112 {
+		t.Fatalf("file size %v, want 112", f.SizeMB)
+	}
+	wantReplicas := [][]int{{1, 3}, {5}, {0, 2, 4}}
+	for i, id := range f.Chunks {
+		c := fs.Chunk(id)
+		if c == nil {
+			t.Fatalf("chunk %d missing", i)
+		}
+		if len(c.Replicas) != len(wantReplicas[i]) {
+			t.Fatalf("chunk %d has %d replicas, want %d", i, len(c.Replicas), len(wantReplicas[i]))
+		}
+		for j, node := range wantReplicas[i] {
+			if c.Replicas[j] != node {
+				t.Fatalf("chunk %d replicas %v, want sorted %v", i, c.Replicas, wantReplicas[i])
+			}
+		}
+		if c.Epoch() != fs.Epoch() {
+			t.Fatalf("chunk %d epoch %d, want %d", i, c.Epoch(), fs.Epoch())
+		}
+	}
+	// perNode indexes must agree with the replica lists.
+	for _, node := range []int{1, 3} {
+		found := false
+		for _, id := range fs.HostedBy(node) {
+			if id == f.Chunks[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d does not host chunk 0", node)
+		}
+	}
+	if msgs := fs.Fsck(); len(msgs) != 0 {
+		t.Fatalf("fsck after bulk create: %v", msgs)
+	}
+}
+
+func TestCreateChunksReplicatedValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		sizes    []float64
+		replicas [][]int
+	}{
+		{"no chunks", nil, nil},
+		{"length mismatch", []float64{1, 2}, [][]int{{0}}},
+		{"zero size", []float64{0}, [][]int{{0}}},
+		{"negative size", []float64{-1}, [][]int{{0}}},
+		{"empty replica list", []float64{1}, [][]int{{}}},
+		{"node out of range", []float64{1}, [][]int{{9}}},
+		{"negative node", []float64{1}, [][]int{{-1}}},
+		{"duplicate replica", []float64{1}, [][]int{{2, 2}}},
+	}
+	for _, tc := range cases {
+		fs := New(testView(4), Config{Seed: 2})
+		if _, err := fs.CreateChunksReplicated("/f", tc.sizes, tc.replicas); err == nil {
+			t.Errorf("%s: create succeeded, want error", tc.name)
+		}
+		// Nothing may have been written: namespace empty, no chunks, epoch 0.
+		if fs.NumChunks() != 0 || len(fs.Files()) != 0 || fs.Epoch() != 0 {
+			t.Errorf("%s: failed create left state behind (chunks=%d files=%d epoch=%d)",
+				tc.name, fs.NumChunks(), len(fs.Files()), fs.Epoch())
+		}
+	}
+}
+
+func TestCreateChunksReplicatedDeadNodeAndDupName(t *testing.T) {
+	fs := New(testView(4), Config{Seed: 3, Replication: 1})
+	if err := fs.MarkDead(2); err != nil {
+		t.Fatalf("MarkDead: %v", err)
+	}
+	if _, err := fs.CreateChunksReplicated("/f", []float64{1}, [][]int{{2}}); err == nil {
+		t.Fatal("create on dead node succeeded, want error")
+	}
+	if _, err := fs.CreateChunksReplicated("/f", []float64{1}, [][]int{{1}}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := fs.CreateChunksReplicated("/f", []float64{1}, [][]int{{1}}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate name error = %v, want ErrExists", err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	fs := New(testView(8), Config{Seed: 4})
+	s0 := fs.Snapshot()
+	if s0.Epoch != 0 || s0.Files != 0 || s0.Chunks != 0 || s0.Nodes != 8 {
+		t.Fatalf("empty snapshot = %+v", s0)
+	}
+	if _, err := fs.CreateChunks("/a", []float64{64, 64}); err != nil {
+		t.Fatalf("CreateChunks: %v", err)
+	}
+	s1 := fs.Snapshot()
+	if s1.Epoch != fs.Epoch() || s1.Files != 1 || s1.Chunks != 2 || s1.Nodes != 8 {
+		t.Fatalf("snapshot after create = %+v (fs epoch %d)", s1, fs.Epoch())
+	}
+	// Replica mutations move the epoch even when counts are unchanged.
+	c := fs.Chunk(mustStat(t, fs, "/a").Chunks[0])
+	var target int
+	for n := 0; n < 8; n++ {
+		hosted := false
+		for _, r := range c.Replicas {
+			if r == n {
+				hosted = true
+			}
+		}
+		if !hosted {
+			target = n
+			break
+		}
+	}
+	if err := fs.AddReplica(c.ID, target); err != nil {
+		t.Fatalf("AddReplica: %v", err)
+	}
+	s2 := fs.Snapshot()
+	if s2.Epoch <= s1.Epoch || s2.Chunks != s1.Chunks {
+		t.Fatalf("snapshot after AddReplica = %+v, previous %+v", s2, s1)
+	}
+}
+
+// mustStat is Stat with the error turned into a test failure.
+func mustStat(t *testing.T, fs *FileSystem, name string) *File {
+	t.Helper()
+	f, err := fs.Stat(name)
+	if err != nil {
+		t.Fatalf("Stat(%q): %v", name, err)
+	}
+	return f
+}

@@ -176,6 +176,29 @@ func (fs *FileSystem) View() ClusterView { return fs.view }
 // to read concurrently with mutations on other goroutines.
 func (fs *FileSystem) Epoch() uint64 { return fs.epoch.Load() }
 
+// MetadataSnapshot is a summary of the namenode state at one epoch. It is
+// the namespace token the shared plan-cache tier uses: two opassd replicas
+// mirroring the same layout produce the same snapshot, so remote cache
+// keys derived from it collide exactly when the metadata agrees.
+type MetadataSnapshot struct {
+	Epoch  uint64 `json:"epoch"`
+	Files  int    `json:"files"`
+	Chunks int    `json:"chunks"`
+	Nodes  int    `json:"nodes"`
+}
+
+// Snapshot captures the current metadata epoch and object counts. Like
+// Epoch it is cheap; unlike Epoch it also pins the namespace shape, so a
+// replica that merely reset its counter cannot alias another's keys.
+func (fs *FileSystem) Snapshot() MetadataSnapshot {
+	return MetadataSnapshot{
+		Epoch:  fs.epoch.Load(),
+		Files:  len(fs.files),
+		Chunks: len(fs.chunks),
+		Nodes:  fs.view.NumNodes(),
+	}
+}
+
 // OnPlacementChange registers fn to be called synchronously after every
 // placement mutation with the IDs of the chunks whose replica sets changed
 // (empty for node-membership-only changes). At most one observer is
@@ -281,6 +304,75 @@ func (fs *FileSystem) CreateChunks(name string, sizesMB []float64) (*File, error
 		if err := validateReplicas(c.Replicas, live, r); err != nil {
 			return nil, fmt.Errorf("dfs: create %q chunk %d: %w", name, i, err)
 		}
+		sort.Ints(c.Replicas)
+		c.target = len(c.Replicas)
+		fs.chunks = append(fs.chunks, c)
+		f.Chunks = append(f.Chunks, c.ID)
+		f.SizeMB += s
+		for _, node := range c.Replicas {
+			fs.perNode[node] = append(fs.perNode[node], c.ID)
+		}
+	}
+	fs.files[name] = f
+	fs.order = append(fs.order, name)
+	fs.bumpEpoch(f.Chunks...)
+	return f, nil
+}
+
+// CreateChunksReplicated writes a file from explicit per-chunk sizes AND
+// explicit per-chunk replica lists, bypassing the placement policy and the
+// Config replication factor: chunk i is hosted exactly on replicas[i]
+// (de-duplicated sorted copy; the list may be any positive length). It is
+// the bulk primitive behind the HTTP service's streaming request decoder,
+// which mirrors a million-input layout into one file with one allocation
+// per chunk and a single epoch bump instead of a file, a path string, and
+// an epoch per input. Replica lists are validated against live nodes; a
+// duplicate or dead node fails the whole create with nothing written.
+func (fs *FileSystem) CreateChunksReplicated(name string, sizesMB []float64, replicas [][]int) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if fs.reserved[name] {
+		return nil, fmt.Errorf("%w: %q (open for writing)", ErrExists, name)
+	}
+	if len(sizesMB) == 0 {
+		return nil, fmt.Errorf("dfs: create %q: no chunks", name)
+	}
+	if len(replicas) != len(sizesMB) {
+		return nil, fmt.Errorf("dfs: create %q: %d replica lists for %d chunks", name, len(replicas), len(sizesMB))
+	}
+	// Validate everything before mutating any state, so a bad input cannot
+	// leave a half-created file behind.
+	for i, s := range sizesMB {
+		if s <= 0 {
+			return nil, fmt.Errorf("dfs: create %q: chunk %d size %v must be positive", name, i, s)
+		}
+		if len(replicas[i]) == 0 {
+			return nil, fmt.Errorf("dfs: create %q: chunk %d has no replicas", name, i)
+		}
+		for j, node := range replicas[i] {
+			if node < 0 || node >= fs.view.NumNodes() || fs.dead[node] {
+				return nil, fmt.Errorf("dfs: create %q: chunk %d replica node %d not live", name, i, node)
+			}
+			for _, prev := range replicas[i][:j] {
+				if prev == node {
+					return nil, fmt.Errorf("dfs: create %q: chunk %d duplicate replica node %d", name, i, node)
+				}
+			}
+		}
+	}
+	f := &File{Name: name}
+	f.Chunks = make([]ChunkID, 0, len(sizesMB))
+	// One backing array for all chunk structs: the namenode metadata of a
+	// 1M-chunk layout is one allocation, not a million.
+	block := make([]Chunk, len(sizesMB))
+	for i, s := range sizesMB {
+		c := &block[i]
+		c.ID = ChunkID(len(fs.chunks))
+		c.File = name
+		c.Index = i
+		c.SizeMB = s
+		c.Replicas = append([]int(nil), replicas[i]...)
 		sort.Ints(c.Replicas)
 		c.target = len(c.Replicas)
 		fs.chunks = append(fs.chunks, c)

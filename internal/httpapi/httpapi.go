@@ -41,9 +41,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"opass/internal/bipartite"
 	"opass/internal/cluster"
 	"opass/internal/core"
-	"opass/internal/dfs"
 	"opass/internal/engine"
 	"opass/internal/plancache"
 	"opass/internal/telemetry"
@@ -76,11 +76,11 @@ const (
 	// oversubscribed core fabric charges for).
 	MetricEngineRackLocalMB = "opass_engine_rack_local_mb_total"
 	MetricEngineCrossRackMB = "opass_engine_cross_rack_mb_total"
-	MetricSimLastMakespan      = "opass_sim_last_makespan_seconds"
-	MetricSimLastTasksRun      = "opass_sim_last_tasks_run"
-	MetricSimLastRetries       = "opass_sim_last_retries"
-	MetricSimLastLocality      = "opass_sim_last_local_fraction"
-	MetricRequestsRejected     = "opass_requests_rejected_total"
+	MetricSimLastMakespan   = "opass_sim_last_makespan_seconds"
+	MetricSimLastTasksRun   = "opass_sim_last_tasks_run"
+	MetricSimLastRetries    = "opass_sim_last_retries"
+	MetricSimLastLocality   = "opass_sim_last_local_fraction"
+	MetricRequestsRejected  = "opass_requests_rejected_total"
 	// MetricRequestsShed counts requests refused by the admission layer,
 	// by route and reason (queue_timeout, draining).
 	MetricRequestsShed = "opass_requests_shed_total"
@@ -114,24 +114,23 @@ const (
 	// here; library embedders sharing a live FileSystem through
 	// plancache.ProblemCache drive it.
 	MetricPlanCachePartialInvalidations = "opass_plan_cache_partial_invalidations_total"
-)
-
-// Limits protecting the decoder and the planners from hostile or
-// fat-fingered payloads.
-const (
-	maxBodyBytes     = 32 << 20
-	maxNodes         = 1 << 16
-	maxProcs         = 1 << 16
-	maxTasks         = 1 << 16
-	maxInputsPerTask = 1 << 10
+	// MetricPlanCacheRemote* count the shared (L2) plan-cache tier's
+	// traffic: plans adopted from another replica (hits), lookups that fell
+	// through to the local planner (misses), backend failures treated as
+	// misses (errors), and plans published for the fleet (sets).
+	MetricPlanCacheRemoteHits   = "opass_plan_cache_remote_hits_total"
+	MetricPlanCacheRemoteMisses = "opass_plan_cache_remote_misses_total"
+	MetricPlanCacheRemoteErrors = "opass_plan_cache_remote_errors_total"
+	MetricPlanCacheRemoteSets   = "opass_plan_cache_remote_sets_total"
 )
 
 // Admission and deadline defaults; ServerOptions overrides them and opassd
 // exposes them as flags.
 const (
 	// DefaultMaxInflight is the per-route admission capacity in work units
-	// (one unit per task plus one per input across concurrent requests).
-	DefaultMaxInflight = 1 << 18
+	// (one unit per task plus one per input across concurrent requests),
+	// sized so one at-limit request (1M tasks and their inputs) fits.
+	DefaultMaxInflight = 1 << 22
 	// DefaultQueueWait bounds how long a request may wait for admission
 	// before being shed with 429.
 	DefaultQueueWait = 2 * time.Second
@@ -154,6 +153,17 @@ const (
 	// TTL is a second line of defense against layouts that drift outside
 	// the fingerprint's view.
 	DefaultPlanCacheTTL = 5 * time.Minute
+)
+
+// Shared-tier defaults; ServerOptions overrides them and opassd exposes
+// them as flags.
+const (
+	// DefaultRemoteTierNamespace prefixes every remote tier key. Bump it
+	// when the tierPlan wire format changes so mixed-version fleets land
+	// in disjoint keyspaces instead of failing to decode each other.
+	DefaultRemoteTierNamespace = "opass1"
+	// DefaultRemoteTierTTL bounds a published plan's remote lifetime.
+	DefaultRemoteTierTTL = 10 * time.Minute
 )
 
 // statusClientClosedRequest is the nginx-convention status recorded when
@@ -215,6 +225,10 @@ type PlanRequest struct {
 	Replan             bool              `json:"replan,omitempty"`
 	Repair             bool              `json:"repair,omitempty"`
 	RepairDelaySeconds float64           `json:"repair_delay_seconds,omitempty"`
+
+	// weight caches the admission work estimate (tasks + inputs) computed
+	// during streaming decode, where Tasks is never materialized.
+	weight int64
 }
 
 // PlanResponse is the body returned by POST /v1/plan.
@@ -281,6 +295,25 @@ type ServerOptions struct {
 	// PlanCacheTTL bounds a cached plan's age; 0 means
 	// DefaultPlanCacheTTL, negative means entries never expire.
 	PlanCacheTTL time.Duration
+	// Limits overrides the request-decode bounds; zero fields mean the
+	// package defaults (see RequestLimits).
+	Limits RequestLimits
+	// LegacyDecode routes /v1/plan and /v1/simulate through the
+	// whole-body request decoder instead of the streaming one — a compat
+	// escape hatch, and the behavioral reference the streaming path's
+	// tests compare against.
+	LegacyDecode bool
+	// RemoteTier, when non-nil, is the shared L2 plan cache consulted
+	// (and populated) inside the planner singleflight, letting N opassd
+	// replicas dedupe planner work fleet-wide. Backend failures degrade
+	// to local-only caching, never to errors.
+	RemoteTier plancache.Tier
+	// RemoteTierNamespace prefixes every remote tier key, versioning the
+	// fleet keyspace; "" means DefaultRemoteTierNamespace.
+	RemoteTierNamespace string
+	// RemoteTierTTL bounds a published plan's remote lifetime; 0 means
+	// DefaultRemoteTierTTL, negative means no expiry.
+	RemoteTierTTL time.Duration
 }
 
 // Server is the Opass planning service: an http.Handler plus the drain
@@ -293,6 +326,15 @@ type Server struct {
 	simAdmit   *admitter
 	queueWait  time.Duration
 	reqTimeout time.Duration
+	// limits bounds the request decoders; legacyDecode selects the
+	// whole-body path over the streaming default.
+	limits       RequestLimits
+	legacyDecode bool
+	// tier is the shared L2 plan cache (nil when not configured); tierNS
+	// and tierTTL shape its keys and entry lifetimes.
+	tier    plancache.Tier
+	tierNS  string
+	tierTTL time.Duration
 	// planCache memoizes planner results by problem fingerprint; nil when
 	// disabled. /v1/plan and /v1/simulate share it (the simulation itself
 	// is never cached).
@@ -368,6 +410,10 @@ func NewServer(opts ServerOptions) *Server {
 	reg.Help(MetricPlanCacheEntries, "Plans currently cached.")
 	reg.Help(MetricPlanCacheBytes, "Estimated bytes of plans currently cached.")
 	reg.Help(MetricPlanCachePartialInvalidations, "Plan-cache entries evicted by tag-scoped invalidation instead of a full flush.")
+	reg.Help(MetricPlanCacheRemoteHits, "Plans adopted from the shared remote cache tier.")
+	reg.Help(MetricPlanCacheRemoteMisses, "Remote-tier lookups that fell through to the local planner.")
+	reg.Help(MetricPlanCacheRemoteErrors, "Remote-tier backend failures, treated as misses.")
+	reg.Help(MetricPlanCacheRemoteSets, "Plans published to the shared remote cache tier.")
 
 	maxInflight := opts.MaxInflight
 	if maxInflight <= 0 {
@@ -382,12 +428,33 @@ func NewServer(opts ServerOptions) *Server {
 		reqTimeout = DefaultRequestTimeout
 	}
 	s := &Server{
-		reg:        reg,
-		logger:     opts.Logger,
-		planAdmit:  newAdmitter(maxInflight),
-		simAdmit:   newAdmitter(maxInflight),
-		queueWait:  queueWait,
-		reqTimeout: reqTimeout,
+		reg:          reg,
+		logger:       opts.Logger,
+		planAdmit:    newAdmitter(maxInflight),
+		simAdmit:     newAdmitter(maxInflight),
+		queueWait:    queueWait,
+		reqTimeout:   reqTimeout,
+		limits:       opts.Limits.withDefaults(),
+		legacyDecode: opts.LegacyDecode,
+	}
+	if opts.RemoteTier != nil {
+		s.tier = opts.RemoteTier
+		s.tierNS = opts.RemoteTierNamespace
+		if s.tierNS == "" {
+			s.tierNS = DefaultRemoteTierNamespace
+		}
+		switch {
+		case opts.RemoteTierTTL == 0:
+			s.tierTTL = DefaultRemoteTierTTL
+		case opts.RemoteTierTTL > 0:
+			s.tierTTL = opts.RemoteTierTTL
+		}
+		// Instantiate the remote counters at zero so the families are
+		// scrapeable before the first fleet interaction.
+		reg.Counter(MetricPlanCacheRemoteHits)
+		reg.Counter(MetricPlanCacheRemoteMisses)
+		reg.Counter(MetricPlanCacheRemoteErrors)
+		reg.Counter(MetricPlanCacheRemoteSets)
 	}
 	if opts.PlanCacheEntries >= 0 {
 		entries := opts.PlanCacheEntries
@@ -452,7 +519,7 @@ func (s *Server) Drain() {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	req, prob, apiErr := decodeProblem(r)
+	req, prob, apiErr := s.decodeProblem(w, r)
 	if apiErr != nil {
 		s.reject(w, r, apiErr)
 		return
@@ -473,7 +540,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	req, prob, apiErr := decodeProblem(r)
+	req, prob, apiErr := s.decodeProblem(w, r)
 	if apiErr != nil {
 		s.reject(w, r, apiErr)
 		return
@@ -536,8 +603,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // reject answers a decode failure, bucketing it in the rejection counter.
+// An over-limit body additionally closes the connection: MaxBytesReader has
+// poisoned the stream mid-request, so keep-alive reuse would misparse the
+// unread remainder as the next request.
 func (s *Server) reject(w http.ResponseWriter, r *http.Request, apiErr *apiError) {
 	s.reg.Counter(MetricRequestsRejected, telemetry.L("reason", apiErr.reason)).Inc()
+	if apiErr.status == http.StatusRequestEntityTooLarge {
+		w.Header().Set("Connection", "close")
+	}
 	s.writeJSON(w, r, apiErr.status, errorBody{Error: apiErr.Error()})
 }
 
@@ -545,9 +618,12 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request, apiErr *apiError
 // units: one per task plus one per input (planner cost scales with locality
 // edges, simulation cost with read flows — both proportional to inputs).
 func workWeight(req *PlanRequest) int64 {
-	w := int64(len(req.Tasks))
-	for i := range req.Tasks {
-		w += int64(len(req.Tasks[i].Inputs))
+	w := req.weight
+	if w == 0 { // legacy decode path: Tasks is materialized
+		w = int64(len(req.Tasks))
+		for i := range req.Tasks {
+			w += int64(len(req.Tasks[i].Inputs))
+		}
 	}
 	if w < 1 {
 		w = 1
@@ -631,7 +707,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
+	// Compact by default — at 1M tasks the indented envelope nearly
+	// doubles the response bytes; ?pretty=1 opts into readable output.
+	if r.URL.Query().Get("pretty") == "1" {
+		enc.SetIndent("", "  ")
+	}
 	if err := enc.Encode(v); err != nil {
 		s.reg.Counter(MetricResponseErrors, telemetry.L("route", routeLabel(r))).Inc()
 		if s.logger != nil {
@@ -644,129 +724,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v
 	}
 }
 
-// layoutView is the minimal cluster view for a submitted layout.
-type layoutView struct{ n int }
-
-func (v layoutView) NumNodes() int  { return v.n }
-func (v layoutView) RackOf(int) int { return 0 }
-
-// decodeProblem parses and validates a request into a core.Problem backed
-// by an in-memory file system that mirrors the submitted block layout.
-func decodeProblem(r *http.Request) (*PlanRequest, *core.Problem, *apiError) {
-	var req PlanRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return nil, nil, &apiError{
-				status: http.StatusRequestEntityTooLarge, reason: "too_large",
-				err: fmt.Errorf("request body exceeds %d bytes", tooBig.Limit),
-			}
-		}
-		return nil, nil, badRequest("invalid", "bad request body: %w", err)
-	}
-	if req.Nodes <= 0 {
-		return nil, nil, badRequest("invalid", "nodes must be positive")
-	}
-	if req.Nodes > maxNodes {
-		return nil, nil, badRequest("invalid", "nodes %d exceeds maximum %d", req.Nodes, maxNodes)
-	}
-	if len(req.Tasks) == 0 {
-		return nil, nil, badRequest("invalid", "tasks must be non-empty")
-	}
-	if apiErr := validateFaults(&req); apiErr != nil {
-		return nil, nil, apiErr
-	}
-	// Cap planner work before any of it happens: a 32 MiB body of
-	// one-replica micro-tasks must not drive unbounded planning.
-	if len(req.Tasks) > maxTasks {
-		return nil, nil, badRequest("too_many_tasks",
-			"request lists %d tasks, exceeding maximum %d", len(req.Tasks), maxTasks)
-	}
-	for ti := range req.Tasks {
-		if len(req.Tasks[ti].Inputs) > maxInputsPerTask {
-			return nil, nil, badRequest("too_many_inputs",
-				"task %d lists %d inputs, exceeding maximum %d per task", ti, len(req.Tasks[ti].Inputs), maxInputsPerTask)
-		}
-	}
-	// Validate proc_nodes up front with specific messages — the shape
-	// errors must not fall through to the planner's generic Validate.
-	if len(req.ProcNodes) > maxProcs {
-		return nil, nil, badRequest("invalid",
-			"proc_nodes lists %d processes, exceeding maximum %d", len(req.ProcNodes), maxProcs)
-	}
-	procNodes := req.ProcNodes
-	if len(procNodes) == 0 {
-		procNodes = make([]int, req.Nodes)
-		for i := range procNodes {
-			procNodes[i] = i
-		}
-	}
-	for i, n := range procNodes {
-		if n < 0 || n >= req.Nodes {
-			return nil, nil, badRequest("invalid", "proc_nodes[%d] = %d outside [0,%d)", i, n, req.Nodes)
-		}
-	}
-	// Mirror the layout into an in-memory FS: each input becomes a chunk
-	// created with its first replica, then the remaining replicas are added
-	// (per-input replica counts may differ, unlike a Config-level factor).
-	var firstReps [][]int
-	for _, task := range req.Tasks {
-		for _, in := range task.Inputs {
-			if len(in.Replicas) > 0 {
-				firstReps = append(firstReps, []int{in.Replicas[0]})
-			} else {
-				firstReps = append(firstReps, []int{0}) // rejected below
-			}
-		}
-	}
-	fs := dfs.New(layoutView{req.Nodes}, dfs.Config{
-		Replication: 1,
-		Placement:   dfs.FixedPlacement{Replicas: firstReps},
-	})
-	prob := &core.Problem{ProcNode: procNodes, FS: fs}
-	for ti, task := range req.Tasks {
-		if len(task.Inputs) == 0 {
-			return nil, nil, badRequest("invalid", "task %d has no inputs", ti)
-		}
-		coreTask := core.Task{ID: ti}
-		for ii, in := range task.Inputs {
-			if in.SizeMB <= 0 {
-				return nil, nil, badRequest("invalid", "task %d input %d: size_mb must be positive", ti, ii)
-			}
-			if len(in.Replicas) == 0 {
-				return nil, nil, badRequest("invalid", "task %d input %d: replicas must be non-empty", ti, ii)
-			}
-			seen := map[int]bool{}
-			for _, rep := range in.Replicas {
-				if rep < 0 || rep >= req.Nodes {
-					return nil, nil, badRequest("invalid", "task %d input %d: replica node %d outside cluster", ti, ii, rep)
-				}
-				if seen[rep] {
-					return nil, nil, badRequest("invalid", "task %d input %d: duplicate replica node %d", ti, ii, rep)
-				}
-				seen[rep] = true
-			}
-			f, err := fs.CreateChunks(fmt.Sprintf("/layout/t%d/i%d", ti, ii), []float64{in.SizeMB})
-			if err != nil {
-				return nil, nil, &apiError{status: http.StatusInternalServerError, reason: "internal", err: err}
-			}
-			id := f.Chunks[0]
-			for _, rep := range in.Replicas[1:] {
-				if err := fs.AddReplica(id, rep); err != nil {
-					return nil, nil, &apiError{status: http.StatusInternalServerError, reason: "internal", err: err}
-				}
-			}
-			coreTask.Inputs = append(coreTask.Inputs, core.Input{Chunk: id, SizeMB: in.SizeMB})
-		}
-		prob.Tasks = append(prob.Tasks, coreTask)
-	}
-	if err := prob.Validate(); err != nil {
-		return nil, nil, badRequest("invalid", "%w", err)
-	}
-	return &req, prob, nil
-}
+// kuhnTaskThreshold is the single-data problem size above which the server
+// swaps Edmonds-Karp for the direct augmenting matcher. Edmonds-Karp pays
+// one BFS per matched task, which is already ~1 minute at 50k tasks and
+// hopeless at 1M; 2^13 tasks keeps the paper-faithful solver on every
+// paper-scale problem while bulk layouts get the solver that finishes there.
+const kuhnTaskThreshold = 1 << 13
 
 // pickAssigner resolves the request's strategy to a planner. The resolved
 // name (not the raw strategy string) keys the plan cache, so "" and
@@ -784,7 +747,17 @@ func pickAssigner(req *PlanRequest, prob *core.Problem) (core.Assigner, *apiErro
 		if multi {
 			return core.MultiData{Seed: req.Seed}, nil
 		}
-		return core.SingleData{Seed: req.Seed}, nil
+		sd := core.SingleData{Seed: req.Seed}
+		if len(prob.Tasks) >= kuhnTaskThreshold {
+			// Edmonds-Karp augments one unit of flow per BFS, which stops
+			// scaling far below 1M tasks. Above the threshold switch to the
+			// direct matcher: with equal task sizes (the common bulk layout)
+			// it skips the flow network entirely, and with unequal sizes
+			// SingleData falls back to Edmonds-Karp on its own. The choice
+			// depends only on the problem, so cached plans stay deterministic.
+			sd.Algorithm = bipartite.Kuhn
+		}
+		return sd, nil
 	case "rank":
 		return core.RankStatic{}, nil
 	case "random":
@@ -816,39 +789,75 @@ func planSizeBytes(resp *PlanResponse) int64 {
 	return n + 256
 }
 
-// validateFaults rejects malformed fault specs with specific messages
-// before any planning happens — the engine re-validates, but its errors
-// would surface as a 500 after the planner already ran.
-func validateFaults(req *PlanRequest) *apiError {
-	for i, f := range req.Failures {
-		if f.Node < 0 || f.Node >= req.Nodes {
-			return badRequest("invalid", "failures[%d]: node %d outside cluster", i, f.Node)
-		}
-		if f.AtSeconds < 0 {
-			return badRequest("invalid", "failures[%d]: at_seconds must be non-negative", i)
-		}
-		if f.RecoverAtSeconds != 0 && f.RecoverAtSeconds <= f.AtSeconds {
-			return badRequest("invalid", "failures[%d]: recover_at_seconds must be after at_seconds", i)
-		}
+// tierPlan is the wire form of a cached plan in the shared tier. The
+// assignment is rebuilt from the envelope on the way in, so only the
+// locality numerator/denominator ride alongside the response.
+type tierPlan struct {
+	Resp    PlanResponse `json:"resp"`
+	LocalMB float64      `json:"local_mb"`
+	TotalMB float64      `json:"total_mb"`
+}
+
+// tierKeyFor derives the remote key: the configured namespace, the
+// namenode-metadata snapshot epoch of the mirror FS the plan was computed
+// against, and the content-addressed problem fingerprint. Replicas that
+// decoded the same request produce identical snapshots, so keys collide
+// exactly when the metadata agrees; any divergence (including the legacy
+// vs streaming FS-build paths) lands in disjoint keyspaces.
+func (s *Server) tierKeyFor(prob *core.Problem, key plancache.Key) string {
+	snap := prob.FS.Snapshot()
+	return plancache.TierKey(fmt.Sprintf("%s/e%d", s.tierNS, snap.Epoch), key)
+}
+
+// tierFetch asks the shared tier for an already-computed plan. Every
+// failure mode — backend error, undecodable bytes, a plan that does not
+// validate against the problem — degrades to a miss.
+func (s *Server) tierFetch(ctx context.Context, prob *core.Problem, key plancache.Key) (cachedPlan, bool) {
+	if s.tier == nil {
+		return cachedPlan{}, false
 	}
-	for i, d := range req.Degradations {
-		if d.Node < 0 || d.Node >= req.Nodes {
-			return badRequest("invalid", "degradations[%d]: node %d outside cluster", i, d.Node)
-		}
-		if d.AtSeconds < 0 {
-			return badRequest("invalid", "degradations[%d]: at_seconds must be non-negative", i)
-		}
-		if d.UntilSeconds != 0 && d.UntilSeconds <= d.AtSeconds {
-			return badRequest("invalid", "degradations[%d]: until_seconds must be after at_seconds", i)
-		}
-		if !(d.DiskFactor > 0 && d.DiskFactor <= 1) || !(d.NICFactor > 0 && d.NICFactor <= 1) {
-			return badRequest("invalid", "degradations[%d]: disk_factor and nic_factor must be in (0, 1]", i)
-		}
+	data, ok, err := s.tier.Get(ctx, s.tierKeyFor(prob, key))
+	if err != nil {
+		s.reg.Counter(MetricPlanCacheRemoteErrors).Inc()
+		return cachedPlan{}, false
 	}
-	if req.RepairDelaySeconds < 0 {
-		return badRequest("invalid", "repair_delay_seconds must be non-negative")
+	if !ok {
+		s.reg.Counter(MetricPlanCacheRemoteMisses).Inc()
+		return cachedPlan{}, false
 	}
-	return nil
+	var tp tierPlan
+	if err := json.Unmarshal(data, &tp); err != nil {
+		s.reg.Counter(MetricPlanCacheRemoteErrors).Inc()
+		return cachedPlan{}, false
+	}
+	a := &core.Assignment{
+		Owner: tp.Resp.Owner, Lists: tp.Resp.Lists,
+		PlannedLocalMB: tp.LocalMB, PlannedTotalMB: tp.TotalMB,
+	}
+	if err := a.Validate(prob); err != nil {
+		s.reg.Counter(MetricPlanCacheRemoteErrors).Inc()
+		return cachedPlan{}, false
+	}
+	s.reg.Counter(MetricPlanCacheRemoteHits).Inc()
+	return cachedPlan{resp: tp.Resp, a: a}, true
+}
+
+// tierPublish offers a freshly computed plan to the shared tier; failures
+// are counted and otherwise ignored (the local response is already in hand).
+func (s *Server) tierPublish(ctx context.Context, prob *core.Problem, key plancache.Key, resp *PlanResponse, a *core.Assignment) {
+	if s.tier == nil {
+		return
+	}
+	data, err := json.Marshal(tierPlan{Resp: *resp, LocalMB: a.PlannedLocalMB, TotalMB: a.PlannedTotalMB})
+	if err != nil {
+		s.reg.Counter(MetricPlanCacheRemoteErrors).Inc()
+		return
+	}
+	if err := s.tier.Set(ctx, s.tierKeyFor(prob, key), data, s.tierTTL); err != nil {
+		s.reg.Counter(MetricPlanCacheRemoteErrors).Inc()
+		return
+	}
+	s.reg.Counter(MetricPlanCacheRemoteSets).Inc()
 }
 
 // plan answers the request from the fingerprinted plan cache when it can,
@@ -860,14 +869,32 @@ func (s *Server) plan(ctx context.Context, req *PlanRequest, prob *core.Problem)
 		return PlanResponse{}, nil, apiErr
 	}
 	if s.planCache == nil {
-		return s.computePlan(ctx, assigner, prob)
+		if s.tier == nil {
+			return s.computePlan(ctx, assigner, prob)
+		}
+		key := planFingerprint(prob, assigner.Name(), req.Seed)
+		if cp, ok := s.tierFetch(ctx, prob, key); ok {
+			return cp.resp, cp.a, nil
+		}
+		resp, a, err := s.computePlan(ctx, assigner, prob)
+		if err == nil {
+			s.tierPublish(ctx, prob, key, &resp, a)
+		}
+		return resp, a, err
 	}
 	key := planFingerprint(prob, assigner.Name(), req.Seed)
 	cached, outcome, err := s.planCache.Do(ctx, key, func(cctx context.Context) (cachedPlan, int64, error) {
+		// The shared tier is consulted inside the flight: when another
+		// replica already planned this fingerprint, its plan is adopted
+		// and the local planner never runs.
+		if cp, ok := s.tierFetch(cctx, prob, key); ok {
+			return cp, planSizeBytes(&cp.resp), nil
+		}
 		resp, a, err := s.computePlan(cctx, assigner, prob)
 		if err != nil {
 			return cachedPlan{}, 0, err
 		}
+		s.tierPublish(cctx, prob, key, &resp, a)
 		return cachedPlan{resp: resp, a: a}, planSizeBytes(&resp), nil
 	})
 	switch outcome {

@@ -226,45 +226,6 @@ func TestDrainSheds503(t *testing.T) {
 	}
 }
 
-func TestDecodeSizeLimits(t *testing.T) {
-	reg := telemetry.NewRegistry()
-	s := NewServer(ServerOptions{Registry: reg})
-	srv := httptest.NewServer(s)
-	defer srv.Close()
-
-	tooManyTasks := PlanRequest{Nodes: 4}
-	for i := 0; i < maxTasks+1; i++ {
-		tooManyTasks.Tasks = append(tooManyTasks.Tasks,
-			TaskSpec{Inputs: []InputSpec{{SizeMB: 1, Replicas: []int{0}}}})
-	}
-	resp, body := post(t, srv, "/v1/plan", tooManyTasks)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("too-many-tasks status %d: %.200s", resp.StatusCode, body)
-	}
-	if !strings.Contains(string(body), "exceeding maximum") {
-		t.Fatalf("too-many-tasks body %q lacks the limit message", body)
-	}
-	if got := metricValue(t, reg, MetricRequestsRejected, `reason="too_many_tasks"`); got != 1 {
-		t.Fatalf("too_many_tasks rejection counter = %v, want 1", got)
-	}
-
-	fatTask := PlanRequest{Nodes: 4, Tasks: []TaskSpec{{}}}
-	for i := 0; i < maxInputsPerTask+1; i++ {
-		fatTask.Tasks[0].Inputs = append(fatTask.Tasks[0].Inputs,
-			InputSpec{SizeMB: 1, Replicas: []int{i % 4}})
-	}
-	resp, body = post(t, srv, "/v1/plan", fatTask)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("too-many-inputs status %d: %.200s", resp.StatusCode, body)
-	}
-	if !strings.Contains(string(body), "per task") {
-		t.Fatalf("too-many-inputs body %q lacks the per-task limit message", body)
-	}
-	if got := metricValue(t, reg, MetricRequestsRejected, `reason="too_many_inputs"`); got != 1 {
-		t.Fatalf("too_many_inputs rejection counter = %v, want 1", got)
-	}
-}
-
 // brokenWriter fails every body write, as a hung-up client does.
 type brokenWriter struct {
 	h      http.Header

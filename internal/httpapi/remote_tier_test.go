@@ -1,0 +1,144 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"opass/internal/plancache"
+	"opass/internal/telemetry"
+)
+
+// replica builds one opassd-like server wired to the shared tier, with a
+// planner-invocation counter.
+func replica(t *testing.T, tier plancache.Tier, legacy bool) (*httptest.Server, *telemetry.Registry, *atomic.Int64) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s := NewServer(ServerOptions{Registry: reg, RemoteTier: tier, LegacyDecode: legacy})
+	var ran atomic.Int64
+	s.plannerRan = func() { ran.Add(1) }
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return srv, reg, &ran
+}
+
+// TestTwoReplicasOnePlannerRun is the fleet-dedup acceptance check: two
+// replicas sharing a memcached-protocol tier serve a repeated request with
+// exactly one planner run between them, and return identical plans.
+func TestTwoReplicasOnePlannerRun(t *testing.T) {
+	mc, err := plancache.NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	tierA := plancache.NewRemote(mc.Addr(), plancache.RemoteOptions{})
+	defer tierA.Close()
+	tierB := plancache.NewRemote(mc.Addr(), plancache.RemoteOptions{})
+	defer tierB.Close()
+
+	srvA, regA, ranA := replica(t, tierA, false)
+	srvB, regB, ranB := replica(t, tierB, false)
+
+	req := layoutRequest("opass")
+	respA, bodyA := post(t, srvA, "/v1/plan", req)
+	if respA.StatusCode != 200 {
+		t.Fatalf("replica A: %d %s", respA.StatusCode, bodyA)
+	}
+	if ranA.Load() != 1 {
+		t.Fatalf("replica A planner runs = %d, want 1", ranA.Load())
+	}
+	if got := metricValue(t, regA, MetricPlanCacheRemoteSets); got != 1 {
+		t.Fatalf("replica A remote sets = %v, want 1", got)
+	}
+	if got := metricValue(t, regA, MetricPlanCacheRemoteMisses); got != 1 {
+		t.Fatalf("replica A remote misses = %v, want 1", got)
+	}
+
+	respB, bodyB := post(t, srvB, "/v1/plan", req)
+	if respB.StatusCode != 200 {
+		t.Fatalf("replica B: %d %s", respB.StatusCode, bodyB)
+	}
+	if ranB.Load() != 0 {
+		t.Fatalf("replica B planner runs = %d, want 0 (plan adopted from the tier)", ranB.Load())
+	}
+	if got := metricValue(t, regB, MetricPlanCacheRemoteHits); got != 1 {
+		t.Fatalf("replica B remote hits = %v, want 1", got)
+	}
+
+	var planA, planB PlanResponse
+	if err := json.Unmarshal(bodyA, &planA); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &planB); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(planA.Owner) != fmt.Sprint(planB.Owner) ||
+		fmt.Sprint(planA.Lists) != fmt.Sprint(planB.Lists) ||
+		planA.LocalityFraction != planB.LocalityFraction {
+		t.Fatalf("replicas disagree:\nA: %+v\nB: %+v", planA, planB)
+	}
+
+	// Replica B's copy now also lives in its L1: a third request runs no
+	// planner and touches no counters on A.
+	post(t, srvB, "/v1/plan", req)
+	if ranA.Load()+ranB.Load() != 1 {
+		t.Fatalf("total planner runs = %d after 3 requests, want 1", ranA.Load()+ranB.Load())
+	}
+
+	// A different request misses the tier and plans locally.
+	other := layoutRequest("opass")
+	other.Seed = 99
+	post(t, srvA, "/v1/plan", other)
+	if ranA.Load() != 2 {
+		t.Fatalf("replica A planner runs = %d after distinct request, want 2", ranA.Load())
+	}
+}
+
+// TestTierKeyspaceSeparatesDecodePaths: the legacy and streaming decoders
+// build the mirror FS differently (incremental vs bulk), so their snapshot
+// epochs differ and they must not serve each other's tier entries.
+func TestTierKeyspaceSeparatesDecodePaths(t *testing.T) {
+	tier := plancache.NewMemoryTier(plancache.Options{MaxEntries: 64})
+	srvA, _, ranA := replica(t, tier, false) // streaming
+	srvC, _, ranC := replica(t, tier, true)  // legacy
+
+	req := layoutRequest("opass")
+	post(t, srvA, "/v1/plan", req)
+	post(t, srvC, "/v1/plan", req)
+	if ranA.Load() != 1 || ranC.Load() != 1 {
+		t.Fatalf("planner runs A=%d C=%d, want 1 and 1 (disjoint keyspaces)", ranA.Load(), ranC.Load())
+	}
+	// Same path, same keyspace: a second streaming replica dedupes.
+	srvB, _, ranB := replica(t, tier, false)
+	post(t, srvB, "/v1/plan", req)
+	if ranB.Load() != 0 {
+		t.Fatalf("second streaming replica ran the planner %d times, want 0", ranB.Load())
+	}
+}
+
+// TestTierFailureDegradesToLocal: a dead remote tier must cost errors
+// counters only — every request still plans locally and succeeds.
+func TestTierFailureDegradesToLocal(t *testing.T) {
+	mc, err := plancache.NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := mc.Addr()
+	mc.Close() // tier backend is down before the first request
+	r := plancache.NewRemote(addr, plancache.RemoteOptions{})
+	defer r.Close()
+
+	srv, reg, ran := replica(t, r, false)
+	resp, body := post(t, srv, "/v1/plan", layoutRequest("opass"))
+	if resp.StatusCode != 200 {
+		t.Fatalf("request failed with dead tier: %d %s", resp.StatusCode, body)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("planner runs = %d, want 1", ran.Load())
+	}
+	if got := metricValue(t, reg, MetricPlanCacheRemoteErrors); got < 2 {
+		t.Fatalf("remote errors = %v, want >= 2 (failed get + failed set)", got)
+	}
+}

@@ -138,11 +138,14 @@ func (l lockedWriter) Write(p []byte) (int, error) {
 }
 
 func TestBodyTooLargeReturns413(t *testing.T) {
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(NewHandler(ServerOptions{
+		Limits: RequestLimits{BodyBytes: 64 << 10},
+	}))
 	defer srv.Close()
-	// A >32MiB body must be rejected with 413 and a clean JSON envelope,
-	// not a generic 400 leaking the Go error string.
-	big := make([]byte, (32<<20)+1024)
+	// An over-limit body must be rejected with 413 and a clean JSON
+	// envelope, not a generic 400 leaking the Go error string — and the
+	// connection must be closed, since MaxBytesReader poisoned the stream.
+	big := make([]byte, (64<<10)+1024)
 	for i := range big {
 		big[i] = ' '
 	}
@@ -154,6 +157,9 @@ func TestBodyTooLargeReturns413(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if !resp.Close && resp.Header.Get("Connection") != "close" {
+		t.Error("413 response does not close the poisoned connection")
 	}
 	var e struct {
 		Error string `json:"error"`

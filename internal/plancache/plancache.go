@@ -180,6 +180,42 @@ func (c *Cache[V]) Stats() Stats {
 	return Stats{Entries: c.lru.Len(), Bytes: c.bytes, Evictions: c.evictions, PartialInvalidations: c.partials}
 }
 
+// Get returns the cached value for key without joining or starting a
+// compute — the plain-lookup face of the cache used by the Tier adapter.
+// A hit refreshes the entry's LRU position; an expired entry is evicted
+// and reported as a miss.
+func (c *Cache[V]) Get(key Key) (V, bool) {
+	now := c.opts.Now()
+	expired := 0
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && (e.expires.IsZero() || now.Before(e.expires)) {
+		c.lru.MoveToFront(e.elem)
+		v := e.val
+		c.mu.Unlock()
+		return v, true
+	}
+	if ok {
+		c.removeLocked(e)
+		c.evictions++
+		expired = 1
+	}
+	c.mu.Unlock()
+	c.notifyEvict(expired)
+	var zero V
+	return zero, false
+}
+
+// Put stores a value directly, bypassing the singleflight machinery — for
+// values computed elsewhere (another replica via the shared tier). Bounds
+// and TTL apply exactly as for values landed by Do.
+func (c *Cache[V]) Put(key Key, v V, size int64) {
+	c.mu.Lock()
+	evicted := c.storeLocked(key, v, size, nil)
+	c.mu.Unlock()
+	c.notifyEvict(evicted)
+}
+
 // Do returns the value for key, computing it at most once across
 // concurrent callers. On a hit the cached value is returned immediately.
 // Otherwise the first caller becomes the flight leader and runs compute in

@@ -1,0 +1,73 @@
+package plancache
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file defines the shared cache tier: a byte-oriented backend behind
+// the per-process Cache, letting N opassd replicas dedupe planner work
+// fleet-wide. The in-process Cache stays the L1 — typed values, coalescing,
+// surgical invalidation — while a Tier is the L2 consulted inside the
+// singleflight compute: before running the planner the flight leader asks
+// the tier for the fingerprint's serialized plan, and after a genuine
+// compute it publishes the result for every other replica.
+//
+// Correctness is inherited from content addressing. Tier keys embed the
+// same canonical-problem fingerprint the L1 uses — which covers per-chunk
+// placement epochs — plus the caller's namespace (the namenode metadata
+// snapshot epoch), so replicas answering from the shared tier agree on
+// exactly the metadata the plan was computed against. Stale entries are
+// never wrong, merely unreachable, so the tier needs no invalidation
+// protocol: TTLs and backend LRU pressure collect the garbage.
+
+// Tier is a shared byte-valued cache backend. Implementations must be safe
+// for concurrent use. Errors are advisory: callers treat a failing tier as
+// a miss and fall through to computing locally.
+type Tier interface {
+	// Get fetches the value stored under key. ok is false on a clean miss;
+	// err reports backend failures (which callers should treat as misses).
+	Get(ctx context.Context, key string) (value []byte, ok bool, err error)
+	// Set stores value under key. ttl bounds the entry's remote lifetime;
+	// <= 0 lets the backend keep it until evicted by its own pressure.
+	Set(ctx context.Context, key string, value []byte, ttl time.Duration) error
+}
+
+// TierKey renders a content-addressed Key under a namespace as a key every
+// Tier backend accepts (hex keeps it within memcached's 250-byte printable
+// key rules for any namespace up to ~180 bytes). Namespaces version the
+// keyspace: embedding the namenode metadata snapshot epoch means replicas
+// whose metadata disagrees can never serve each other's plans.
+func TierKey(namespace string, k Key) string {
+	return fmt.Sprintf("%s:%x", namespace, k[:])
+}
+
+// MemoryTier adapts the in-process LRU machinery to the Tier interface —
+// the single-replica backend, and the reference implementation the remote
+// backend's tests compare against. Entry lifetime follows the tier's
+// Options (MaxEntries/MaxBytes/TTL); the per-Set ttl parameter is ignored,
+// since a local tier shares the process's freshness budget.
+type MemoryTier struct {
+	c *Cache[[]byte]
+}
+
+// NewMemoryTier creates a MemoryTier bounded by opts.
+func NewMemoryTier(opts Options) *MemoryTier {
+	return &MemoryTier{c: New[[]byte](opts)}
+}
+
+// Get implements Tier.
+func (m *MemoryTier) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	v, ok := m.c.Get(KeyOf([]byte(key)))
+	return v, ok, nil
+}
+
+// Set implements Tier.
+func (m *MemoryTier) Set(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	m.c.Put(KeyOf([]byte(key)), value, int64(len(value)))
+	return nil
+}
+
+// Stats reports the underlying cache's totals.
+func (m *MemoryTier) Stats() Stats { return m.c.Stats() }

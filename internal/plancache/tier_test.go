@@ -1,0 +1,238 @@
+package plancache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tierConformance drives any Tier through the contract the httpapi layer
+// relies on: set-then-get round-trips bytes exactly, absent keys miss
+// cleanly, and namespaced keys are disjoint.
+func tierConformance(t *testing.T, tier Tier) {
+	t.Helper()
+	ctx := context.Background()
+	k1 := TierKey("opass:epoch1", KeyOf([]byte("problem-a")))
+	k2 := TierKey("opass:epoch2", KeyOf([]byte("problem-a"))) // same fingerprint, other epoch
+
+	if _, ok, err := tier.Get(ctx, k1); err != nil || ok {
+		t.Fatalf("Get on empty tier = ok=%v err=%v, want clean miss", ok, err)
+	}
+	val := bytes.Repeat([]byte("plan-bytes\x00\xff"), 1000) // binary-safe, multi-KB
+	if err := tier.Set(ctx, k1, val, time.Minute); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got, ok, err := tier.Get(ctx, k1)
+	if err != nil || !ok {
+		t.Fatalf("Get after Set = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("round-trip corrupted value: %d bytes, want %d", len(got), len(val))
+	}
+	if _, ok, err := tier.Get(ctx, k2); err != nil || ok {
+		t.Fatalf("other-epoch key hit (ok=%v err=%v); snapshot namespaces must be disjoint", ok, err)
+	}
+	// Empty value round-trips too (a legal cached payload).
+	if err := tier.Set(ctx, k2, nil, 0); err != nil {
+		t.Fatalf("Set empty: %v", err)
+	}
+	if got, ok, _ := tier.Get(ctx, k2); !ok || len(got) != 0 {
+		t.Fatalf("empty value round-trip = %q ok=%v", got, ok)
+	}
+}
+
+func TestMemoryTierConformance(t *testing.T) {
+	tierConformance(t, NewMemoryTier(Options{MaxEntries: 16}))
+}
+
+func TestRemoteTierConformance(t *testing.T) {
+	srv, err := NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r := NewRemote(srv.Addr(), RemoteOptions{})
+	defer r.Close()
+	tierConformance(t, r)
+	st := r.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Sets != 2 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses / 2 sets / 0 errors", st)
+	}
+}
+
+// TestRemoteTierTTLExpiry asserts a TTL'd entry vanishes after its
+// exptime (driven through the server's test clock).
+func TestRemoteTierTTLExpiry(t *testing.T) {
+	srv, err := NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := time.Now()
+	now := base
+	var mu sync.Mutex
+	srv.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	r := NewRemote(srv.Addr(), RemoteOptions{})
+	defer r.Close()
+	ctx := context.Background()
+	if err := r.Set(ctx, "ttl-key", []byte("v"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := r.Get(ctx, "ttl-key"); err != nil || !ok {
+		t.Fatalf("fresh entry missing (ok=%v err=%v)", ok, err)
+	}
+	mu.Lock()
+	now = base.Add(time.Minute)
+	mu.Unlock()
+	if _, ok, err := r.Get(ctx, "ttl-key"); err != nil || ok {
+		t.Fatalf("expired entry still served (ok=%v err=%v)", ok, err)
+	}
+	if srv.Len() != 0 {
+		t.Fatalf("server retains %d items after expiry read", srv.Len())
+	}
+}
+
+// TestRemoteTierConnReuse asserts sequential exchanges share pooled
+// connections instead of redialing.
+func TestRemoteTierConnReuse(t *testing.T) {
+	srv, err := NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dials := 0
+	r := NewRemote(srv.Addr(), RemoteOptions{Dial: func(ctx context.Context) (net.Conn, error) {
+		dials++
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", srv.Addr())
+	}})
+	defer r.Close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := r.Set(ctx, key, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := r.Get(ctx, key); err != nil || !ok {
+			t.Fatalf("get %s: ok=%v err=%v", key, ok, err)
+		}
+	}
+	if dials != 1 {
+		t.Fatalf("%d dials for 20 sequential exchanges, want 1", dials)
+	}
+}
+
+// TestRemoteTierErrorPaths: a dead server surfaces errors (treated as
+// misses upstream) and counts them; invalid keys are rejected before any
+// network traffic.
+func TestRemoteTierErrorPaths(t *testing.T) {
+	srv, err := NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+
+	r := NewRemote(addr, RemoteOptions{Timeout: 100 * time.Millisecond})
+	defer r.Close()
+	ctx := context.Background()
+	if _, ok, err := r.Get(ctx, "k"); err == nil || ok {
+		t.Fatalf("Get against dead server = ok=%v err=%v, want error", ok, err)
+	}
+	if err := r.Set(ctx, "k", []byte("v"), 0); err == nil {
+		t.Fatal("Set against dead server succeeded")
+	}
+	if err := r.Set(ctx, "bad key", []byte("v"), 0); err == nil {
+		t.Fatal("whitespace key accepted")
+	}
+	if err := r.Set(ctx, strings.Repeat("k", 251), []byte("v"), 0); err == nil {
+		t.Fatal("overlong key accepted")
+	}
+	if st := r.Stats(); st.Errors < 4 {
+		t.Fatalf("stats = %+v, want >= 4 errors", st)
+	}
+}
+
+// TestRemoteTierConcurrent hammers one server from many goroutines — the
+// fleet-of-replicas shape — verifying every value round-trips intact.
+// Meaningful mainly under -race.
+func TestRemoteTierConcurrent(t *testing.T) {
+	srv, err := NewMemcachedServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	r := NewRemote(srv.Addr(), RemoteOptions{MaxIdleConns: 8})
+	defer r.Close()
+
+	const workers = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("w%d-r%d", w, i)
+				val := bytes.Repeat([]byte{byte(w), byte(i)}, 512)
+				if err := r.Set(ctx, key, val, 0); err != nil {
+					errs <- err
+					return
+				}
+				got, ok, err := r.Get(ctx, key)
+				if err != nil || !ok || !bytes.Equal(got, val) {
+					errs <- fmt.Errorf("round-trip %s: ok=%v err=%v", key, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if srv.Len() != workers*rounds {
+		t.Fatalf("server holds %d items, want %d", srv.Len(), workers*rounds)
+	}
+}
+
+// TestCacheGetPut covers the direct (non-singleflight) cache face the
+// MemoryTier adapter uses: LRU refresh, TTL expiry, byte-bound eviction.
+func TestCacheGetPut(t *testing.T) {
+	base := time.Now()
+	now := base
+	c := New[string](Options{MaxEntries: 2, TTL: time.Minute, Now: func() time.Time { return now }})
+	k1, k2, k3 := KeyOf([]byte("1")), KeyOf([]byte("2")), KeyOf([]byte("3"))
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, "a", 1)
+	c.Put(k2, "b", 1)
+	if v, ok := c.Get(k1); !ok || v != "a" {
+		t.Fatalf("Get(k1) = %q ok=%v", v, ok)
+	}
+	c.Put(k3, "c", 1) // k2 is LRU now (k1 was refreshed by the Get)
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("k2 survived LRU eviction")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 evicted despite refresh")
+	}
+	now = base.Add(2 * time.Minute)
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("k1 served past TTL")
+	}
+	if st := c.Stats(); st.Entries != 1 { // k3 remains (expired but unread)
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
